@@ -1,0 +1,65 @@
+"""Microbenchmarks of the core operations (complexity sanity checks).
+
+Not a paper figure: these keep the building blocks honest — EDwP and
+EDwPsub are quadratic DPs, the box bound is linear in the box budget, and
+a TrajTree query should cost a fraction of a sequential scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, edwp, edwp_avg
+from repro.core.edwp_sub import edwp_sub
+from repro.datasets import generate_beijing
+from repro.index import TBoxSeq, TrajTree, edwp_sub_box
+
+
+def _pair(n1, n2, seed=0):
+    rng = np.random.default_rng(seed)
+    mk = lambda n: Trajectory.from_xy(
+        rng.normal(0, 1, (n, 2)).cumsum(axis=0)
+    )
+    return mk(n1), mk(n2)
+
+
+@pytest.mark.parametrize("size", [10, 20, 40])
+def test_bench_edwp(benchmark, size):
+    a, b = _pair(size, size)
+    benchmark(edwp, a, b)
+
+
+def test_bench_edwp_avg(benchmark):
+    a, b = _pair(25, 25)
+    benchmark(edwp_avg, a, b)
+
+
+def test_bench_edwp_sub(benchmark):
+    a, b = _pair(15, 40)
+    benchmark(edwp_sub, a, b)
+
+
+def test_bench_box_lower_bound(benchmark):
+    rng = np.random.default_rng(1)
+    group = [
+        Trajectory.from_xy(rng.normal(0, 1, (12, 2)).cumsum(axis=0))
+        for _ in range(5)
+    ]
+    seq = TBoxSeq.from_trajectories(group)
+    q, _ = _pair(20, 2, seed=2)
+    benchmark(edwp_sub_box, q, seq)
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    db = generate_beijing(80, seed=7)
+    return TrajTree(db, num_vps=20, normalized=True, seed=0)
+
+
+def test_bench_trajtree_query(benchmark, small_tree):
+    q = generate_beijing(1, seed=555)[0]
+    benchmark(small_tree.knn, q, 10)
+
+
+def test_bench_sequential_scan(benchmark, small_tree):
+    q = generate_beijing(1, seed=555)[0]
+    benchmark(small_tree.knn_scan, q, 10)

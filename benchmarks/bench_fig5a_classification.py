@@ -1,0 +1,47 @@
+"""Fig. 5(a): 1-NN classification accuracy vs number of sign classes."""
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import run_fig5a
+
+#: Reduced scale: the paper uses 98 classes, 10-fold CV, 100 repeats.
+CLASS_COUNTS = (5, 10, 15, 20, 25)
+INSTANCES = 6
+REPEATS = 1
+FOLDS = 4
+
+
+def test_fig5a_accuracy_vs_classes(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_fig5a,
+        kwargs=dict(class_counts=CLASS_COUNTS,
+                    instances_per_class=INSTANCES,
+                    repeats=REPEATS, folds=FOLDS, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(
+        results_dir,
+        "fig5a",
+        "Fig. 5(a): classification accuracy vs #classes "
+        f"(ASL-like, {INSTANCES} instances/class, {FOLDS}-fold CV)",
+        format_series_table("#classes", result.class_counts, result.accuracy),
+    )
+
+    # paper shape: EDwP is the most accurate metric overall, its advantage
+    # is clearest at the hardest (largest) class counts, and accuracy
+    # degrades as classes grow
+    import numpy as np
+
+    edwp_mean = np.mean(result.accuracy["EDwP"])
+    for name, series in result.accuracy.items():
+        if name != "EDwP":
+            assert edwp_mean >= np.mean(series) - 0.03, name
+    hardest = -1
+    best_at_hardest = max(result.accuracy,
+                          key=lambda m: result.accuracy[m][hardest])
+    assert result.accuracy["EDwP"][hardest] >= (
+        result.accuracy[best_at_hardest][hardest] - 0.05
+    )
+    for name, series in result.accuracy.items():
+        assert series[-1] <= series[0] + 0.1, name

@@ -1,0 +1,53 @@
+"""Figs. 5(b)/(c): robustness to inter-trajectory sampling variance."""
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import robustness_sweep
+
+DB_SIZE = 40
+QUERIES = 3
+
+
+def test_fig5b_vs_k(benchmark, results_dir):
+    result = benchmark.pedantic(
+        robustness_sweep,
+        kwargs=dict(protocol="inter", vary="k", db_size=DB_SIZE,
+                    k_values=(5, 10, 20, 30), fixed_noise=0.05,
+                    num_queries=QUERIES, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5b",
+         "Fig. 5(b): inter-trajectory sampling robustness vs k "
+         f"(Beijing-like n={DB_SIZE}, noise 5%)",
+         format_series_table("k", result.x_values, result.series))
+    _check_shape(result)
+
+
+def test_fig5c_vs_noise(benchmark, results_dir):
+    result = benchmark.pedantic(
+        robustness_sweep,
+        kwargs=dict(protocol="inter", vary="n", db_size=DB_SIZE,
+                    noise_values=(0.05, 0.25, 0.5, 0.75, 1.0), fixed_k=10,
+                    num_queries=QUERIES, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5c",
+         "Fig. 5(c): inter-trajectory sampling robustness vs noise % "
+         f"(Beijing-like n={DB_SIZE}, k=10)",
+         format_series_table("noise %", result.x_values, result.series))
+    _check_shape(result)
+
+    # paper shape against n: EDwP stays above 0.75 even at 100% noise
+    assert result.series["EDwP"][-1] > 0.75
+
+
+def _check_shape(result):
+    """The paper's headline for this protocol: EDwP beats every comparator
+    on (mean) correlation."""
+    import numpy as np
+
+    edwp_mean = np.mean(result.series["EDwP"])
+    for name, series in result.series.items():
+        if name != "EDwP":
+            assert edwp_mean >= np.mean(series) - 0.02, name

@@ -1,0 +1,54 @@
+"""Figs. 5(h)/(i): threshold dependency under location perturbation."""
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import robustness_sweep
+
+DB_SIZE = 40
+QUERIES = 3
+
+
+def test_fig5h_vs_k(benchmark, results_dir):
+    result = benchmark.pedantic(
+        robustness_sweep,
+        kwargs=dict(protocol="perturb", vary="k", db_size=DB_SIZE,
+                    k_values=(5, 10, 20, 30), fixed_noise=0.10,
+                    num_queries=QUERIES, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5h",
+         "Fig. 5(h): perturbation robustness vs k "
+         f"(Beijing-like n={DB_SIZE}, noise 10%)",
+         format_series_table("k", result.x_values, result.series))
+    _check_shape(result)
+
+
+def test_fig5i_vs_noise(benchmark, results_dir):
+    result = benchmark.pedantic(
+        robustness_sweep,
+        kwargs=dict(protocol="perturb", vary="n", db_size=DB_SIZE,
+                    noise_values=(0.05, 0.25, 0.5, 0.75, 1.0), fixed_k=10,
+                    num_queries=QUERIES, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5i",
+         "Fig. 5(i): perturbation robustness vs noise % "
+         f"(Beijing-like n={DB_SIZE}, k=10)",
+         format_series_table("noise %", result.x_values, result.series))
+    _check_shape(result)
+
+
+def _check_shape(result):
+    """Reproduction note (EXPERIMENTS.md): with the paper's own radius rule
+    (30 s at average speed ~ 235 m) and the EDR-paper's eps rule (~ 416 m),
+    the perturbation stays *below* the matching threshold, so the threshold
+    metrics barely move at this scale — the threshold-dependency behaviour
+    itself is pinned by the Fig. 1(c) anchor test instead.  Here we assert
+    the robustness floor: every metric, including EDwP, keeps correlation
+    high under sub-threshold perturbation."""
+    import numpy as np
+
+    assert np.mean(result.series["EDwP"]) >= 0.85
+    for name, series in result.series.items():
+        assert np.mean(series) >= 0.5, name

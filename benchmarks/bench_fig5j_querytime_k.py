@@ -1,0 +1,37 @@
+"""Fig. 5(j): query-time growth with k for the four retrieval methods."""
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import run_fig5j
+
+DB_SIZE = 150
+K_VALUES = (5, 10, 20, 30)
+QUERIES = 2
+
+
+def test_fig5j_query_time_vs_k(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_fig5j,
+        kwargs=dict(db_size=DB_SIZE, k_values=K_VALUES,
+                    num_queries=QUERIES, seed=7),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5j",
+         f"Fig. 5(j): total query seconds vs k (Beijing-like n={DB_SIZE}, "
+         f"{QUERIES} queries)",
+         format_series_table("k", result.x_values, result.series))
+
+    # paper shape: TrajTree beats the EDwP sequential scan on average.
+    # NOT asserted: the paper's "MA slowest by 10x" — our MA
+    # re-implementation deliberately omits the original's five auxiliary
+    # kinematic-model passes (DESIGN.md substitution table), so its
+    # constant factor is small; the relative cost of the *reproduced*
+    # methods is the meaningful comparison here.
+    import numpy as np
+
+    assert np.mean(result.series["TrajTree"]) <= np.mean(
+        result.series["EDwP-scan"]
+    ) * 1.1
+    for series in result.series.values():
+        assert all(s > 0 for s in series)

@@ -1,0 +1,46 @@
+"""Figs. 6(a)/6(e): query time and index build time vs database size."""
+
+import pytest
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import run_scaling
+
+DB_SIZES = (40, 80, 160)
+QUERIES = 2
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    return run_scaling(db_sizes=DB_SIZES, k=10, num_queries=QUERIES, seed=7)
+
+
+def test_fig6a_query_time_vs_dbsize(benchmark, results_dir, scaling_result):
+    result = benchmark.pedantic(lambda: scaling_result, rounds=1, iterations=1)
+    emit(results_dir, "fig6a",
+         f"Fig. 6(a): total query seconds vs database size ({QUERIES} queries, k=10)",
+         format_series_table("db size", result.x_values, result.series))
+
+    # paper shape: every method's cost grows with database size, and the
+    # index methods grow sublinearly relative to the scans
+    for name, series in result.series.items():
+        assert series[-1] >= series[0] * 0.8, name
+    growth_tree = result.series["TrajTree"][-1] / result.series["TrajTree"][0]
+    growth_scan = result.series["EDwP-scan"][-1] / result.series["EDwP-scan"][0]
+    assert growth_tree <= growth_scan * 1.3
+
+
+def test_fig6e_build_time_vs_dbsize(benchmark, results_dir, scaling_result):
+    result = benchmark.pedantic(lambda: scaling_result, rounds=1, iterations=1)
+    emit(results_dir, "fig6e",
+         "Fig. 6(e): index construction seconds vs database size",
+         format_series_table("db size", result.x_values,
+                             result.build_seconds))
+
+    # paper shape (Sec. IV-F analysis): superlinear but subquadratic growth
+    builds = result.build_seconds["TrajTree"]
+    size_ratio = DB_SIZES[-1] / DB_SIZES[0]
+    growth = builds[-1] / max(builds[0], 1e-9)
+    assert growth >= 1.0
+    assert growth <= size_ratio ** 2 * 1.5

@@ -1,0 +1,38 @@
+"""Figs. 6(b)/6(f): TrajTree query time and build time vs θ."""
+
+import pytest
+
+from conftest import emit
+
+from repro.eval.timing import format_series_table
+from repro.experiments import run_theta_sweep
+
+THETAS = (0.2, 0.5, 0.8, 0.95)
+DB_SIZE = 100
+
+
+@pytest.fixture(scope="module")
+def theta_result():
+    return run_theta_sweep(thetas=THETAS, db_size=DB_SIZE, k=10,
+                           num_queries=2, seed=7)
+
+
+def test_fig6b_query_time_vs_theta(benchmark, results_dir, theta_result):
+    result = benchmark.pedantic(lambda: theta_result, rounds=1, iterations=1)
+    emit(results_dir, "fig6b",
+         f"Fig. 6(b): query seconds vs theta (Beijing-like n={DB_SIZE})",
+         format_series_table("theta", result.x_values, result.series))
+    # sanity: every sweep point produced a positive timing
+    assert all(t > 0 for t in result.series["TrajTree-query"])
+
+
+def test_fig6f_build_time_vs_theta(benchmark, results_dir, theta_result):
+    result = benchmark.pedantic(lambda: theta_result, rounds=1, iterations=1)
+    emit(results_dir, "fig6f",
+         f"Fig. 6(f): build seconds vs theta (Beijing-like n={DB_SIZE})",
+         format_series_table("theta", result.x_values,
+                             result.build_seconds))
+    # paper shape: construction cost rises with theta (more pivots per
+    # level); tolerate plateaus from the branching cap
+    builds = result.build_seconds["TrajTree"]
+    assert builds[-1] >= builds[0] * 0.8

@@ -1,0 +1,28 @@
+"""Tables I/II + Fig. 1 scenarios — empirical feature matrix and anchors."""
+
+from conftest import emit
+
+from repro.experiments import run_table1
+
+
+def test_table1_feature_matrix(benchmark, results_dir):
+    """Regenerate Table I (probe ratios) and the scenario anchor numbers."""
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    anchor_lines = "\n".join(
+        f"  {key:<28} {value:.4f}"
+        for key, value in sorted(result.anchors.items())
+    )
+    emit(
+        results_dir,
+        "table1",
+        "Table I (empirical probes) + paper scenario anchors",
+        result.rendered + "\n\nAnchors:\n" + anchor_lines,
+    )
+
+    # the anchors gate the benchmark: a reproduction that breaks the
+    # paper's printed numbers must fail loudly here
+    assert abs(result.anchors["appendixA_edwp_t1_t2"] - 1.0) < 1e-9
+    assert abs(result.anchors["example4_edwpsub_t2_t1"] - 80.0) < 1e-9
+    assert result.probes["EDwP"]["inter"].handled
+    assert result.probes["EDwP"]["phase"].handled

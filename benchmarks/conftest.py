@@ -1,0 +1,34 @@
+"""Shared plumbing for the figure-regenerating benchmarks.
+
+Every benchmark module drives one experiment from
+:mod:`repro.experiments`, times it through pytest-benchmark (single round:
+these are minutes-scale sweeps, not microbenchmarks), prints the resulting
+table, and writes it to ``benchmarks/results/<name>.txt`` so the regenerated
+figures survive output capturing.
+
+Scales are reduced relative to the paper (pure-Python DP vs the authors'
+Java testbed); EXPERIMENTS.md records both the scales and the shape
+comparison against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, title: str, body: str) -> str:
+    """Print and persist one regenerated table."""
+    text = f"{title}\n{body}\n"
+    print(f"\n=== {name} ===\n{text}")
+    (results_dir / f"{name}.txt").write_text(text)
+    return text

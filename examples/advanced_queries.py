@@ -1,0 +1,61 @@
+"""Beyond k-NN: range queries and sub-trajectory search on TrajTree.
+
+The paper closes by noting TrajTree "can potentially be utilized for other
+trajectory operations" (Sec. VI).  This example exercises the two
+extensions the library ships:
+
+* **range queries** — all trips within an EDwP radius of a probe trip
+  (e.g. "find every past trip that essentially took this route");
+* **sub-trajectory search** — trips *containing* a piece similar to the
+  probe (EDwPsub, Eq. 6), e.g. "who drove through this corridor, whatever
+  else their trip did".
+
+Run:  python examples/advanced_queries.py
+"""
+
+from repro import TrajTree
+from repro.datasets import generate_beijing
+from repro.index.trajtree import TrajTreeStats
+
+
+def main() -> None:
+    db = generate_beijing(100, seed=21)
+    tree = TrajTree(db, normalized=True, seed=3)
+    print(f"indexed {len(tree)} taxi trips; storage: {tree.storage_summary()}")
+
+    # --- 1. Range query ----------------------------------------------------
+    probe = db[10]
+    k5 = tree.knn(probe, 6)
+    radius = k5[-1][1]          # radius reaching the 5 nearest other trips
+    stats = TrajTreeStats()
+    within = tree.range_query(probe, radius, stats=stats)
+    print(f"\ntrips within EDwP_avg <= {radius:.1f} of trip #10: "
+          f"{[tid for tid, _ in within]}")
+    print(f"  ({stats.exact_computations} exact evaluations, "
+          f"{stats.nodes_pruned} subtrees pruned)")
+    assert within == tree.range_query_scan(probe, radius)
+
+    # --- 2. Sub-trajectory search -------------------------------------------
+    # cut the middle third out of a database trip and look for its source
+    source = db[42]
+    third = len(source) // 3
+    corridor = source.subtrajectory(third, 2 * third + 1)
+    print(f"\nprobe corridor: points {third}..{2 * third} of trip #42 "
+          f"({len(corridor)} samples)")
+
+    hits = tree.subtrajectory_knn(corridor, 5)
+    print("trips containing the most similar sub-trajectory (EDwPsub):")
+    for tid, dist in hits:
+        marker = "  <-- the source trip" if tid == 42 else ""
+        print(f"  trip #{tid:<4d} EDwPsub = {dist:10.2f}{marker}")
+    assert hits[0][0] == 42
+
+    # contrast: global EDwP ranks the source much lower, because the
+    # corridor must then pay for everything the full trip does besides
+    global_rank = [tid for tid, _ in tree.knn(corridor, len(tree))].index(42)
+    print(f"\nunder *global* EDwP the source trip ranks #{global_rank + 1}; "
+          "sub-trajectory alignment is what finds it")
+
+
+if __name__ == "__main__":
+    main()

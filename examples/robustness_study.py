@@ -1,0 +1,62 @@
+"""Sampling-noise robustness study: who keeps their neighbourhoods?
+
+Reproduces the paper's Sec. V-C measurement loop at demo scale: take a
+clean taxi corpus D1, inject each of the four noise protocols to get D2,
+and check how much each distance function's k-NN answers change (Spearman
+rank correlation of the two k-NN lists; 1.0 = unaffected by the noise).
+
+Run:  python examples/robustness_study.py
+"""
+
+from repro.eval.robustness import NOISE_PROTOCOLS, robustness_experiment
+from repro.experiments.common import beijing_database, robustness_metrics
+
+PROTOCOL_LABELS = {
+    "inter": "inter-trajectory sampling variance (Fig. 5b/c)",
+    "intra": "intra-trajectory sampling variance (Fig. 5d/e)",
+    "phase": "sampling phase variation          (Fig. 5f/g)",
+    "perturb": "location perturbation             (Fig. 5h/i)",
+}
+
+
+def main() -> None:
+    clean = beijing_database(50, seed=5)
+    metrics = robustness_metrics(clean)
+    print(f"clean corpus: {len(clean)} synthetic taxi trips; "
+          f"metrics: {', '.join(metrics)}")
+    print("k-NN rank correlation between clean and noised databases "
+          "(k=5, noise on 80% of segments/points):\n")
+
+    names = list(metrics)
+    header = f"{'protocol':<12}" + "".join(f"{n:>9}" for n in names)
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for protocol in NOISE_PROTOCOLS:
+        result = robustness_experiment(
+            clean, metrics, protocol, k=5, noise_fraction=0.8,
+            num_queries=4, seed=1,
+        )
+        rows[protocol] = result.correlations
+        row = f"{protocol:<12}"
+        for n in names:
+            row += f"{result.correlations[n]:>9.3f}"
+        print(row)
+
+    sampling = ["inter", "intra", "phase"]
+    mean_over_sampling = {
+        n: sum(rows[p][n] for p in sampling) / len(sampling) for n in names
+    }
+    best = max(mean_over_sampling, key=mean_over_sampling.get)
+    print(f"\nmean correlation over the three sampling protocols:")
+    for n, v in sorted(mean_over_sampling.items(), key=lambda kv: -kv[1]):
+        print(f"  {n:<6} {v:.3f}")
+    print(f"\nmost robust to sampling noise: {best} "
+          "(the paper's Table I predicts EDwP)")
+    print("note: at demo scale the integer-valued threshold metrics can "
+          "look stable simply because coarse distances rarely reorder; "
+          "the benchmark harness runs the full sweeps of Figs. 5(b)-(i).")
+
+
+if __name__ == "__main__":
+    main()

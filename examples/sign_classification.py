@@ -1,0 +1,49 @@
+"""Gesture recognition: classify sign-language trajectories by 1-NN.
+
+The paper's Fig. 5(a) scenario: hand-movement trajectories labelled with
+the sign they denote, recorded at inconsistent sampling rates.  A 1-NN
+classifier is only as good as its distance function — this example compares
+EDwP against EDR, LCSS, DISSIM and MA on the same data.
+
+Run:  python examples/sign_classification.py
+"""
+
+from repro.datasets import generate_asl
+from repro.eval.classification import cross_validated_accuracy, nn_classify
+from repro.experiments.common import classification_metrics
+
+
+def main() -> None:
+    # --- 1. A labelled corpus of sign trajectories -------------------------
+    num_classes = 10
+    dataset = generate_asl(num_classes=num_classes, instances_per_class=8,
+                           seed=11)
+    sizes = sorted({len(t) for t in dataset})
+    print(f"{len(dataset)} instances of {num_classes} signs; sample counts "
+          f"range {sizes[0]}..{sizes[-1]} (inconsistent capture rates)")
+
+    # --- 2. Classify one held-out instance --------------------------------
+    metrics = classification_metrics(dataset)
+    probe = dataset[0]
+    references = dataset[1:]
+    predicted = nn_classify(probe, references, metrics["EDwP"])
+    print(f"\nprobe instance of {probe.label!r} -> EDwP 1-NN predicts "
+          f"{predicted!r}")
+
+    # --- 3. Cross-validated accuracy per distance function ----------------
+    print(f"\n5-fold cross-validated 1-NN accuracy ({num_classes} classes):")
+    scores = {}
+    for name, dist in metrics.items():
+        scores[name] = cross_validated_accuracy(dataset, dist, folds=5,
+                                                seed=0)
+    width = max(len(n) for n in scores)
+    for name, acc in sorted(scores.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(acc * 40)
+        print(f"  {name:<{width}}  {acc:6.1%}  {bar}")
+
+    best = max(scores, key=scores.get)
+    print(f"\nbest distance function on this corpus: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — reproduction of "Indexing and Matching Trajectories under
+Inconsistent Sampling Rates" (Ranu, P, Telang, Deshpande, Raghavan;
+ICDE 2015).
+
+The package provides:
+
+* ``repro.core`` — the EDwP distance family (Sec. III): the
+  :class:`~repro.core.trajectory.Trajectory` model, :func:`~repro.core.edwp.edwp`,
+  :func:`~repro.core.edwp.edwp_avg` and the sub-trajectory distance
+  :func:`~repro.core.edwp_sub.edwp_sub`.
+* ``repro.index`` — the TrajTree index (Sec. IV): st-boxes, tBoxSeqs, pivot
+  partitioning, vantage points and exact k-NN querying.
+* ``repro.baselines`` — DTW, LCSS, ERP, EDR, DISSIM, MA, Lp and an EDR
+  filter-and-refine index (the paper's comparators).
+* ``repro.datasets`` — synthetic Beijing-taxi and ASL-sign workloads, the
+  Sec. V noise protocols, trip splitting and uniform re-interpolation.
+* ``repro.eval`` — classification, robustness, UB-factor and feature-matrix
+  harnesses regenerating every table and figure (see EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Trajectory, edwp_avg, TrajTree
+
+    t1 = Trajectory([(0, 0, 0), (0, 10, 30)])
+    t2 = Trajectory([(2, 0, 0), (2, 7, 14), (2, 10, 20)])
+    print(edwp_avg(t1, t2))
+
+    from repro.datasets import generate_beijing
+    db = generate_beijing(200, seed=7)
+    tree = TrajTree(db, normalized=True)
+    print(tree.knn(db[0], k=5))
+"""
+
+from .core import (
+    EditOp,
+    EdwpResult,
+    STPoint,
+    Segment,
+    Trajectory,
+    edwp,
+    edwp_alignment,
+    edwp_avg,
+)
+from .core.edwp_sub import edwp_sub, edwp_sub_alignment, prefix_dist
+from .index import STBox, TBoxSeq, TrajTree, edwp_sub_box
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STPoint",
+    "Segment",
+    "Trajectory",
+    "EditOp",
+    "EdwpResult",
+    "edwp",
+    "edwp_alignment",
+    "edwp_avg",
+    "edwp_sub",
+    "edwp_sub_alignment",
+    "prefix_dist",
+    "STBox",
+    "TBoxSeq",
+    "TrajTree",
+    "edwp_sub_box",
+    "__version__",
+]

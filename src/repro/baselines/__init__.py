@@ -1,0 +1,42 @@
+"""Baseline trajectory distance functions the paper compares against.
+
+All six comparators of Table I plus the basic Lp model and the EDR
+filter-and-refine index used in the retrieval benchmarks (Figs. 5j, 6a).
+"""
+
+from .dtw import dtw
+from .lcss import lcss, lcss_distance, lcss_length
+from .erp import erp
+from .edr import edr, edr_normalized
+from .dissim import dissim
+from .ma import ma, MAParams
+from .lp import lp_norm
+from .frechet import discrete_frechet
+from .hausdorff import directed_hausdorff, hausdorff
+from .edr_index import EDRIndex
+from .dtw_index import DTWIndex, lb_keogh, lb_kim
+from .registry import DistanceSpec, get_distance, list_distances
+
+__all__ = [
+    "dtw",
+    "lcss",
+    "lcss_distance",
+    "lcss_length",
+    "erp",
+    "edr",
+    "edr_normalized",
+    "dissim",
+    "ma",
+    "MAParams",
+    "lp_norm",
+    "discrete_frechet",
+    "directed_hausdorff",
+    "hausdorff",
+    "EDRIndex",
+    "DTWIndex",
+    "lb_keogh",
+    "lb_kim",
+    "DistanceSpec",
+    "get_distance",
+    "list_distances",
+]

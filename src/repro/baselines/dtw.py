@@ -1,0 +1,58 @@
+"""Dynamic Time Warping (Yi, Jagadish & Faloutsos, ICDE 1998; paper ref [6]).
+
+DTW aligns the sampled points of two trajectories with a many-to-one,
+monotone mapping and sums the Euclidean distances of matched pairs.  It
+handles local time shifts (Table I) but is threshold-free only in the sense
+of having no matching tolerance: every point must be matched, so it is
+sensitive to sampling-rate variation — the weakness the paper's EDwP fixes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.geometry import point_distance
+from ..core.trajectory import Trajectory
+
+__all__ = ["dtw"]
+
+
+def dtw(t1: Trajectory, t2: Trajectory, window: int = 0) -> float:
+    """DTW distance over the sampled st-points.
+
+    Parameters
+    ----------
+    window:
+        Sakoe-Chiba band half-width; 0 (default) means unconstrained.
+
+    Returns ``inf`` when exactly one trajectory is empty and 0 when both are.
+    """
+    n, m = len(t1), len(t2)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return math.inf
+
+    p1 = [(row[0], row[1]) for row in t1.data]
+    p2 = [(row[0], row[1]) for row in t2.data]
+    inf = math.inf
+    prev: List[float] = [inf] * (m + 1)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = [inf] * (m + 1)
+        lo, hi = 1, m
+        if window > 0:
+            lo = max(1, i - window)
+            hi = min(m, i + window)
+        a = p1[i - 1]
+        for j in range(lo, hi + 1):
+            d = point_distance(a, p2[j - 1])
+            best = prev[j - 1]
+            if prev[j] < best:
+                best = prev[j]
+            if cur[j - 1] < best:
+                best = cur[j - 1]
+            cur[j] = d + best
+        prev = cur
+    return prev[m]

@@ -1,0 +1,72 @@
+"""Longest Common SubSequence similarity (Vlachos et al., ICDE 2002; ref [3]).
+
+Two sampled points *match* when each spatial coordinate differs by less than
+``eps`` (the original paper's per-dimension threshold) and, optionally, their
+sample indices differ by at most ``delta``.  The LCSS length counts the best
+monotone chain of matches; the associated distance normalizes it away from 1.
+LCSS tolerates noise and local time shifts but is threshold-dependent —
+the sensitivity the paper's Sec. II-4 demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["lcss_length", "lcss", "lcss_distance"]
+
+
+def lcss_length(t1: Trajectory, t2: Trajectory, eps: float,
+                delta: int = 0) -> int:
+    """Length of the longest common subsequence under tolerance ``eps``.
+
+    ``delta = 0`` (default) disables the temporal-index constraint.
+    """
+    n, m = len(t1), len(t2)
+    if n == 0 or m == 0:
+        return 0
+    d1 = t1.data
+    d2 = t2.data
+    prev: List[int] = [0] * (m + 1)
+    for i in range(1, n + 1):
+        cur = [0] * (m + 1)
+        x1 = d1[i - 1, 0]
+        y1 = d1[i - 1, 1]
+        lo, hi = 1, m
+        if delta > 0:
+            lo = max(1, i - delta)
+            hi = min(m, i + delta)
+        for j in range(lo, hi + 1):
+            if abs(x1 - d2[j - 1, 0]) < eps and abs(y1 - d2[j - 1, 1]) < eps:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = prev[j] if prev[j] >= cur[j - 1] else cur[j - 1]
+        if delta > 0:
+            # outside the band, carry the running best forward
+            for j in range(1, lo):
+                cur[j] = max(cur[j], cur[j - 1], prev[j])
+            for j in range(hi + 1, m + 1):
+                cur[j] = max(cur[j], cur[j - 1], prev[j])
+        prev = cur
+    return prev[m]
+
+
+def lcss(t1: Trajectory, t2: Trajectory, eps: float, delta: int = 0) -> float:
+    """LCSS *similarity* in [0, 1]: ``LCSS / min(|T1|, |T2|)``."""
+    n, m = len(t1), len(t2)
+    if n == 0 or m == 0:
+        return 0.0
+    return lcss_length(t1, t2, eps, delta) / min(n, m)
+
+
+def lcss_distance(t1: Trajectory, t2: Trajectory, eps: float,
+                  delta: int = 0) -> float:
+    """LCSS distance ``1 - similarity`` (used for ranking/k-NN)."""
+    n, m = len(t1), len(t2)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return 1.0
+    return 1.0 - lcss(t1, t2, eps, delta)

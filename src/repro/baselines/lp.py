@@ -1,0 +1,40 @@
+"""Lp-norm distance — the basic one-to-one model the paper's intro critiques.
+
+Points are paired index-by-index (the shorter trajectory is padded by
+repeating its last point).  Fast and simple, but local time shifts and any
+sampling-rate difference corrupt it — the motivating failure of Sec. I.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["lp_norm"]
+
+
+def lp_norm(t1: Trajectory, t2: Trajectory, p: float = 2.0) -> float:
+    """One-to-one Lp distance over sampled points.
+
+    ``p`` is the norm order (2 = Euclidean aggregation).  Empty-vs-empty is
+    0; one empty side is ``inf``.
+    """
+    n, m = len(t1), len(t2)
+    if n == 0 and m == 0:
+        return 0.0
+    if n == 0 or m == 0:
+        return math.inf
+    k = max(n, m)
+    a = t1.spatial()
+    b = t2.spatial()
+    if n < k:
+        a = np.vstack([a, np.repeat(a[-1:], k - n, axis=0)])
+    if m < k:
+        b = np.vstack([b, np.repeat(b[-1:], k - m, axis=0)])
+    per_point = np.sqrt(((a - b) ** 2).sum(axis=1))
+    if math.isinf(p):
+        return float(per_point.max())
+    return float((per_point ** p).sum() ** (1.0 / p))

@@ -1,0 +1,108 @@
+"""Distance-function registry used by the evaluation harnesses.
+
+The classification and robustness experiments sweep over several distance
+functions (EDwP plus the Table-I comparators).  The registry gives each a
+stable name, a default parameterization and a uniform
+``(Trajectory, Trajectory) -> float`` callable, so harness code never
+special-cases individual metrics.
+
+Threshold-dependent metrics (EDR, LCSS) need a dataset-dependent ``eps``;
+:func:`get_distance` accepts overrides, and the harnesses derive ``eps``
+from the data scale the way the source papers suggest (a fraction of the
+coordinate standard deviation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.edwp import edwp, edwp_avg
+from ..core.trajectory import Trajectory
+from .dissim import dissim
+from .dtw import dtw
+from .edr import edr_normalized
+from .erp import erp
+from .frechet import discrete_frechet
+from .hausdorff import hausdorff
+from .lcss import lcss_distance
+from .lp import lp_norm
+from .ma import MAParams, ma
+
+__all__ = ["DistanceSpec", "get_distance", "list_distances"]
+
+DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+@dataclass(frozen=True)
+class DistanceSpec:
+    """A named, ready-to-call distance function."""
+
+    name: str
+    fn: DistanceFn
+    threshold_free: bool
+    description: str
+
+    def __call__(self, t1: Trajectory, t2: Trajectory) -> float:
+        return self.fn(t1, t2)
+
+
+def get_distance(
+    name: str,
+    eps: Optional[float] = None,
+    ma_params: Optional[MAParams] = None,
+) -> DistanceSpec:
+    """Build a distance spec by name.
+
+    Names (case-insensitive): ``edwp``, ``edwp_raw``, ``edr``, ``lcss``,
+    ``dtw``, ``erp``, ``dissim``, ``ma``, ``lp``.
+
+    ``eps`` parameterizes EDR/LCSS (required for those two); ``ma_params``
+    overrides the MA model parameters.
+    """
+    key = name.lower()
+    if key in ("edwp", "edwp_avg"):
+        return DistanceSpec("EDwP", edwp_avg, True,
+                            "Edit Distance with Projections, length-normalized (Eq. 4)")
+    if key == "edwp_raw":
+        return DistanceSpec("EDwP-raw", edwp, True,
+                            "Edit Distance with Projections, cumulative")
+    if key == "edr":
+        if eps is None:
+            raise ValueError("EDR requires eps")
+        return DistanceSpec(
+            "EDR", lambda a, b: edr_normalized(a, b, eps), False,
+            f"Edit Distance on Real sequence, eps={eps:g}")
+    if key == "lcss":
+        if eps is None:
+            raise ValueError("LCSS requires eps")
+        return DistanceSpec(
+            "LCSS", lambda a, b: lcss_distance(a, b, eps), False,
+            f"LCSS distance, eps={eps:g}")
+    if key == "dtw":
+        return DistanceSpec("DTW", dtw, True, "Dynamic Time Warping")
+    if key == "erp":
+        return DistanceSpec("ERP", erp, True,
+                            "Edit distance with Real Penalty (gap at origin)")
+    if key == "dissim":
+        return DistanceSpec("DISSIM", dissim, True,
+                            "Time-synchronized integral distance")
+    if key == "ma":
+        params = ma_params or MAParams()
+        return DistanceSpec("MA", lambda a, b: ma(a, b, params), False,
+                            "Model-driven assignment (4 parameters)")
+    if key in ("lp", "lp_norm", "l2"):
+        return DistanceSpec("Lp", lp_norm, True, "One-to-one Lp norm")
+    if key == "frechet":
+        return DistanceSpec("Frechet", discrete_frechet, True,
+                            "Discrete Frechet (bottleneck) distance")
+    if key == "hausdorff":
+        return DistanceSpec("Hausdorff", hausdorff, True,
+                            "Symmetric Hausdorff distance (order-free)")
+    raise KeyError(f"unknown distance: {name!r}")
+
+
+def list_distances() -> List[str]:
+    """All registry names."""
+    return ["edwp", "edwp_raw", "edr", "lcss", "dtw", "erp", "dissim", "ma",
+            "lp", "frechet", "hausdorff"]

@@ -1,0 +1,210 @@
+"""Command-line experiment runner: ``python -m repro <experiment> [options]``.
+
+Every table and figure of the paper can be regenerated from the shell:
+
+    python -m repro table1
+    python -m repro fig5a --classes 5 10 15 --instances 6
+    python -m repro fig5b            # robustness vs k (inter protocol)
+    python -m repro fig5c            # robustness vs n
+    python -m repro fig5j --db-size 150
+    python -m repro fig6a --db-sizes 50 100 200
+    python -m repro fig6b
+    python -m repro fig6c
+    python -m repro fig6d
+    python -m repro fig6e            # build time (same sweep as fig6a)
+    python -m repro fig6f            # build time vs theta
+
+Output is the textual equivalent of the figure: the x-axis sweep with one
+column per technique.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .eval.timing import format_series_table
+from .experiments import (
+    PAPER_PROTOCOL_FIGURES,
+    robustness_sweep,
+    run_fig5a,
+    run_fig5j,
+    run_fig6c,
+    run_fig6d,
+    run_scaling,
+    run_table1,
+    run_theta_sweep,
+)
+
+__all__ = ["main"]
+
+_ROBUST_FIGS = {
+    "fig5b": ("inter", "k"), "fig5c": ("inter", "n"),
+    "fig5d": ("intra", "k"), "fig5e": ("intra", "n"),
+    "fig5f": ("phase", "k"), "fig5g": ("phase", "n"),
+    "fig5h": ("perturb", "k"), "fig5i": ("perturb", "n"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables and figures of the EDwP/TrajTree "
+                    "paper (ICDE 2015) at laptop scale.",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    sub.add_parser("table1", help="Tables I/II + Fig. 1 scenario anchors")
+
+    p5a = sub.add_parser("fig5a", help="classification accuracy vs #classes")
+    p5a.add_argument("--classes", type=int, nargs="+", default=[5, 10, 15, 20, 25])
+    p5a.add_argument("--instances", type=int, default=8)
+    p5a.add_argument("--repeats", type=int, default=2)
+    p5a.add_argument("--seed", type=int, default=7)
+
+    for name, (protocol, vary) in _ROBUST_FIGS.items():
+        p = sub.add_parser(
+            name,
+            help=f"robustness: {protocol} protocol vs {vary}",
+        )
+        p.add_argument("--db-size", type=int, default=60)
+        p.add_argument("--queries", type=int, default=3)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--no-edr-i", action="store_true",
+                       help="skip the expensive EDR-I comparator")
+
+    p5j = sub.add_parser("fig5j", help="query time vs k")
+    p5j.add_argument("--db-size", type=int, default=200)
+    p5j.add_argument("--k-values", type=int, nargs="+", default=[5, 10, 20, 30, 50])
+    p5j.add_argument("--queries", type=int, default=3)
+    p5j.add_argument("--seed", type=int, default=7)
+
+    for name in ("fig6a", "fig6e"):
+        p = sub.add_parser(
+            name,
+            help="query time vs db size" if name == "fig6a"
+            else "index build time vs db size",
+        )
+        p.add_argument("--db-sizes", type=int, nargs="+",
+                       default=[50, 100, 200, 400])
+        p.add_argument("--queries", type=int, default=3)
+        p.add_argument("--seed", type=int, default=7)
+
+    for name in ("fig6b", "fig6f"):
+        p = sub.add_parser(
+            name,
+            help="query time vs theta" if name == "fig6b"
+            else "build time vs theta",
+        )
+        p.add_argument("--thetas", type=float, nargs="+",
+                       default=[0.2, 0.4, 0.6, 0.8, 0.95])
+        p.add_argument("--db-size", type=int, default=150)
+        p.add_argument("--seed", type=int, default=7)
+
+    p6c = sub.add_parser("fig6c", help="UB-factor vs #VPs")
+    p6c.add_argument("--vps", type=int, nargs="+", default=[10, 20, 40, 80, 160])
+    p6c.add_argument("--db-size", type=int, default=120)
+    p6c.add_argument("--seed", type=int, default=7)
+
+    p6d = sub.add_parser("fig6d", help="UB-factor vs k")
+    p6d.add_argument("--k-values", type=int, nargs="+", default=[5, 10, 25, 50, 100])
+    p6d.add_argument("--db-size", type=int, default=120)
+    p6d.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    name = args.experiment
+
+    if name == "table1":
+        result = run_table1()
+        print("Empirical Table I (probe ratios; paper's claims in "
+              "PAPER_TABLE_I):")
+        print(result.rendered)
+        print("\nScenario anchors (paper value in parentheses):")
+        expected = {
+            "appendixA_edwp_t1_t2": 1.0, "appendixA_edwp_t2_t3": 1.0,
+            "appendixA_edwp_t1_t3": 4.0, "example4_edwpsub_t2_t1": 80.0,
+            "fig1c_edr_eps2": 3.0, "fig1c_edr_eps3": 0.0,
+        }
+        for key, value in result.anchors.items():
+            want = expected.get(key)
+            suffix = f"  (paper: {want:g})" if want is not None else ""
+            print(f"  {key:<28} {value:.4f}{suffix}")
+        return 0
+
+    if name == "fig5a":
+        result = run_fig5a(class_counts=args.classes,
+                           instances_per_class=args.instances,
+                           repeats=args.repeats, seed=args.seed)
+        print("Fig. 5(a): 1-NN classification accuracy vs #classes")
+        print(format_series_table("#classes", result.class_counts,
+                                  result.accuracy))
+        return 0
+
+    if name in _ROBUST_FIGS:
+        protocol, vary = _ROBUST_FIGS[name]
+        figure = PAPER_PROTOCOL_FIGURES[protocol][0 if vary == "k" else 1]
+        result = robustness_sweep(
+            protocol, vary, db_size=args.db_size, num_queries=args.queries,
+            include_edr_i=not args.no_edr_i, seed=args.seed,
+        )
+        print(f"Fig. {figure}: {protocol} robustness vs {result.x_name} "
+              f"(Spearman correlation, higher is better)")
+        print(format_series_table(result.x_name, result.x_values,
+                                  result.series))
+        return 0
+
+    if name == "fig5j":
+        result = run_fig5j(db_size=args.db_size, k_values=args.k_values,
+                           num_queries=args.queries, seed=args.seed)
+        print("Fig. 5(j): total query seconds vs k")
+        print(format_series_table("k", result.x_values, result.series))
+        return 0
+
+    if name in ("fig6a", "fig6e"):
+        result = run_scaling(db_sizes=args.db_sizes,
+                             num_queries=args.queries, seed=args.seed)
+        if name == "fig6a":
+            print("Fig. 6(a): total query seconds vs database size")
+            print(format_series_table("db size", result.x_values,
+                                      result.series))
+        else:
+            print("Fig. 6(e): index build seconds vs database size")
+            print(format_series_table("db size", result.x_values,
+                                      result.build_seconds))
+        return 0
+
+    if name in ("fig6b", "fig6f"):
+        result = run_theta_sweep(thetas=args.thetas, db_size=args.db_size,
+                                 seed=args.seed)
+        if name == "fig6b":
+            print("Fig. 6(b): query seconds vs theta")
+            print(format_series_table("theta", result.x_values,
+                                      result.series))
+        else:
+            print("Fig. 6(f): build seconds vs theta")
+            print(format_series_table("theta", result.x_values,
+                                      result.build_seconds))
+        return 0
+
+    if name == "fig6c":
+        result = run_fig6c(vp_counts=args.vps, db_size=args.db_size,
+                           seed=args.seed)
+        print("Fig. 6(c): UB-factor vs #VPs (lower is tighter; optimal = 1)")
+        print(format_series_table("#VPs", result.x_values, result.series))
+        return 0
+
+    if name == "fig6d":
+        result = run_fig6d(k_values=args.k_values, db_size=args.db_size,
+                           seed=args.seed)
+        print("Fig. 6(d): UB-factor vs k (lower is tighter; optimal = 1)")
+        print(format_series_table("k", result.x_values, result.series))
+        return 0
+
+    print(f"unknown experiment: {name}", file=sys.stderr)
+    return 2

@@ -1,0 +1,25 @@
+"""Core contribution of the paper: the EDwP distance family.
+
+Public surface:
+
+* :class:`~repro.core.trajectory.Trajectory`, :class:`~repro.core.trajectory.STPoint`,
+  :class:`~repro.core.trajectory.Segment` — the data model (Definitions 1-3).
+* :func:`~repro.core.edwp.edwp`, :func:`~repro.core.edwp.edwp_avg`,
+  :func:`~repro.core.edwp.edwp_alignment` — Sec. III-A.
+* :func:`~repro.core.edwp_sub.edwp_sub`, :func:`~repro.core.edwp_sub.prefix_dist`
+  — the sub-trajectory distance of Sec. IV-B (Eq. 5-6).
+"""
+
+from .trajectory import STPoint, Segment, Trajectory
+from .edwp import EditOp, EdwpResult, edwp, edwp_alignment, edwp_avg
+
+__all__ = [
+    "STPoint",
+    "Segment",
+    "Trajectory",
+    "EditOp",
+    "EdwpResult",
+    "edwp",
+    "edwp_alignment",
+    "edwp_avg",
+]

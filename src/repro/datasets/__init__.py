@@ -1,0 +1,57 @@
+"""Workload substrate: synthetic datasets, noise protocols, preprocessing.
+
+The paper's two corpora (Beijing T-Drive taxis; Australian Sign Language)
+are replaced by deterministic synthetic equivalents — see the substitution
+table in DESIGN.md.  The noise injectors and the trip splitter implement the
+paper's Sec. V protocols exactly.
+"""
+
+from .asl import ASLConfig, generate_asl, sign_names
+from .beijing import BeijingConfig, generate_beijing, generate_cab_streams
+from .interpolation import (
+    corpus_target_spacing,
+    densify_to_spacing,
+    interpolate_dataset,
+    min_sampling_interval,
+    resample_time_uniform,
+)
+from .io import load_csv, load_json, save_csv, save_json
+from .noise import (
+    average_speed,
+    densify,
+    densify_first_half,
+    perturb,
+    phase_pair,
+    thirty_second_radius,
+)
+from .splitting import split_trajectory, split_trips
+from .stats import CorpusStats, corpus_stats, format_stats
+
+__all__ = [
+    "ASLConfig",
+    "generate_asl",
+    "sign_names",
+    "BeijingConfig",
+    "generate_beijing",
+    "generate_cab_streams",
+    "corpus_target_spacing",
+    "densify_to_spacing",
+    "interpolate_dataset",
+    "min_sampling_interval",
+    "resample_time_uniform",
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+    "average_speed",
+    "densify",
+    "densify_first_half",
+    "perturb",
+    "phase_pair",
+    "thirty_second_radius",
+    "split_trajectory",
+    "split_trips",
+    "CorpusStats",
+    "corpus_stats",
+    "format_stats",
+]

@@ -1,0 +1,101 @@
+"""Trajectory persistence: CSV and JSON round-trips.
+
+The flat CSV layout (one row per st-point) matches how public trajectory
+corpora like T-Drive ship, so a user can load real data into the library by
+exporting to this schema:
+
+    traj_id,label,x,y,t
+    0,,1.5,2.5,0.0
+    ...
+
+JSON stores a list of ``{"traj_id", "label", "points": [[x, y, t], ...]}``
+objects — convenient for small fixtures and examples.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["save_csv", "load_csv", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def save_csv(trajectories: Sequence[Trajectory], path: PathLike) -> None:
+    """Write a corpus as flat CSV (one row per st-point)."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["traj_id", "label", "x", "y", "t"])
+        for i, traj in enumerate(trajectories):
+            tid = traj.traj_id if traj.traj_id is not None else i
+            label = traj.label or ""
+            for row in traj.data:
+                writer.writerow([tid, label, repr(float(row[0])),
+                                 repr(float(row[1])), repr(float(row[2]))])
+
+
+def load_csv(path: PathLike) -> List[Trajectory]:
+    """Read a corpus written by :func:`save_csv` (or shaped like it).
+
+    Rows are grouped by ``traj_id`` preserving file order; points within a
+    trajectory keep their row order.
+    """
+    groups: dict = {}
+    order: List[str] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        required = {"traj_id", "x", "y", "t"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(
+                f"CSV must have columns {sorted(required)}, got {reader.fieldnames}"
+            )
+        for row in reader:
+            key = row["traj_id"]
+            if key not in groups:
+                groups[key] = {"label": row.get("label") or None, "points": []}
+                order.append(key)
+            groups[key]["points"].append(
+                (float(row["x"]), float(row["y"]), float(row["t"]))
+            )
+    out: List[Trajectory] = []
+    for key in order:
+        item = groups[key]
+        try:
+            tid = int(key)
+        except ValueError:
+            tid = None
+        out.append(Trajectory(item["points"], traj_id=tid, label=item["label"]))
+    return out
+
+
+def save_json(trajectories: Sequence[Trajectory], path: PathLike) -> None:
+    """Write a corpus as a JSON list of trajectory objects."""
+    payload = []
+    for i, traj in enumerate(trajectories):
+        payload.append(
+            {
+                "traj_id": traj.traj_id if traj.traj_id is not None else i,
+                "label": traj.label,
+                "points": [[row[0], row[1], row[2]] for row in traj.data],
+            }
+        )
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_json(path: PathLike) -> List[Trajectory]:
+    """Read a corpus written by :func:`save_json`."""
+    with open(path) as f:
+        payload = json.load(f)
+    out: List[Trajectory] = []
+    for item in payload:
+        out.append(
+            Trajectory(item["points"], traj_id=item.get("traj_id"),
+                       label=item.get("label"))
+        )
+    return out

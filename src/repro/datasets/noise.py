@@ -1,0 +1,154 @@
+"""The paper's four noise-injection protocols (Sec. V-C).
+
+Each experiment of Figs. 5(b)-(i) compares k-NN on a clean database ``D1``
+against the same query on a noised database ``D2``:
+
+* **Inter-trajectory sampling variance** — densify ``n%`` of each
+  trajectory's segments by splitting them with an inserted point (shape is
+  unchanged; the sampling rate rises).
+* **Intra-trajectory sampling variance** — the same densification restricted
+  to each trajectory's first half.
+* **Phase variation** — split the *same* segments in both copies, but at
+  different locations; sampling rate and shape agree, only the choice of
+  recorded samples differs.
+* **Threshold dependency (perturbation)** — displace ``n%`` of the st-points
+  uniformly within a circle whose radius is the distance covered in 30
+  seconds at the dataset's average speed.
+
+All functions are pure (new Trajectory objects) and deterministic given the
+``numpy`` generator passed in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = [
+    "densify",
+    "densify_first_half",
+    "phase_pair",
+    "perturb",
+    "average_speed",
+    "thirty_second_radius",
+]
+
+
+def _insert_points(
+    traj: Trajectory, segment_indices: Sequence[int], fractions: Sequence[float]
+) -> Trajectory:
+    """Split the given segments at the given fractions, in one pass."""
+    if len(segment_indices) != len(fractions):
+        raise ValueError("one fraction per segment index required")
+    order = np.argsort(segment_indices)
+    rows: List[np.ndarray] = []
+    data = traj.data
+    pending = {int(segment_indices[i]): float(fractions[i]) for i in order}
+    for seg in range(traj.num_segments):
+        rows.append(data[seg])
+        if seg in pending:
+            f = pending[seg]
+            a = data[seg]
+            b = data[seg + 1]
+            rows.append(a + (b - a) * f)
+    rows.append(data[-1])
+    return Trajectory(np.asarray(rows), traj_id=traj.traj_id,
+                      label=traj.label, validate=False)
+
+
+def _choose_segments(
+    num_segments: int, fraction: float, rng: np.random.Generator,
+    limit: Optional[int] = None,
+) -> np.ndarray:
+    """``n%`` of the segment indices (at least one when fraction > 0)."""
+    pool = num_segments if limit is None else min(limit, num_segments)
+    if pool == 0 or fraction <= 0:
+        return np.empty(0, dtype=int)
+    count = max(1, int(round(pool * fraction)))
+    count = min(count, pool)
+    return rng.choice(pool, size=count, replace=False)
+
+
+def densify(
+    traj: Trajectory, fraction: float, rng: np.random.Generator
+) -> Trajectory:
+    """Inter-trajectory protocol: split ``fraction`` of the segments by an
+    inserted point at a random position; the spatial shape is unchanged."""
+    segs = _choose_segments(traj.num_segments, fraction, rng)
+    if segs.size == 0:
+        return traj
+    fracs = rng.uniform(0.2, 0.8, segs.size)
+    return _insert_points(traj, segs.tolist(), fracs.tolist())
+
+
+def densify_first_half(
+    traj: Trajectory, fraction: float, rng: np.random.Generator
+) -> Trajectory:
+    """Intra-trajectory protocol: densify only within the first half, so the
+    sampling rate varies *inside* the trajectory."""
+    half = max(1, traj.num_segments // 2)
+    segs = _choose_segments(traj.num_segments, fraction, rng, limit=half)
+    if segs.size == 0:
+        return traj
+    fracs = rng.uniform(0.2, 0.8, segs.size)
+    return _insert_points(traj, segs.tolist(), fracs.tolist())
+
+
+def phase_pair(
+    traj: Trajectory, fraction: float, rng: np.random.Generator
+) -> Tuple[Trajectory, Trajectory]:
+    """Phase protocol: two copies with the *same* densified segments but
+    different insertion locations (Sec. V-C: "the only difference lies in
+    the location of the inserted point")."""
+    segs = _choose_segments(traj.num_segments, fraction, rng)
+    if segs.size == 0:
+        return traj, traj
+    f1 = rng.uniform(0.15, 0.45, segs.size)
+    f2 = rng.uniform(0.55, 0.85, segs.size)
+    d1 = _insert_points(traj, segs.tolist(), f1.tolist())
+    d2 = _insert_points(traj, segs.tolist(), f2.tolist())
+    return d1, d2
+
+
+def average_speed(trajectories: Sequence[Trajectory]) -> float:
+    """Mean travel speed (total length / total duration) over a dataset."""
+    length = 0.0
+    duration = 0.0
+    for t in trajectories:
+        length += t.length
+        duration += t.duration
+    if duration <= 0:
+        return 0.0
+    return length / duration
+
+
+def thirty_second_radius(trajectories: Sequence[Trajectory]) -> float:
+    """The paper's perturbation radius: distance travelled in 30 seconds at
+    the dataset's average speed (Sec. V-C, threshold-dependency protocol)."""
+    return 30.0 * average_speed(trajectories)
+
+
+def perturb(
+    traj: Trajectory, fraction: float, radius: float,
+    rng: np.random.Generator,
+) -> Trajectory:
+    """Threshold protocol: displace ``fraction`` of the points uniformly
+    within a circle of ``radius`` around their true location."""
+    n = len(traj)
+    if n == 0 or fraction <= 0 or radius <= 0:
+        return traj
+    count = max(1, int(round(n * fraction)))
+    count = min(count, n)
+    idx = rng.choice(n, size=count, replace=False)
+    data = traj.data.copy()
+    # uniform over the disk: sqrt-radius times random angle
+    r = radius * np.sqrt(rng.uniform(0.0, 1.0, count))
+    ang = rng.uniform(0.0, 2.0 * math.pi, count)
+    data[idx, 0] += r * np.cos(ang)
+    data[idx, 1] += r * np.sin(ang)
+    return Trajectory(data, traj_id=traj.traj_id, label=traj.label,
+                      validate=False)

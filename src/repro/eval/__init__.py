@@ -1,0 +1,58 @@
+"""Evaluation harnesses regenerating the paper's tables and figures."""
+
+from .bootstrap import BootstrapCI, bootstrap_diff_ci, bootstrap_mean_ci
+from .classification import (
+    ClassificationResult,
+    classification_experiment,
+    cross_validated_accuracy,
+    nn_classify,
+)
+from .feature_matrix import (
+    PAPER_TABLE_I,
+    FeatureProbe,
+    feature_matrix,
+    fig1d_ordering_scenario,
+    format_feature_table,
+)
+from .knn import distance_table, knn_from_table, knn_scan
+from .robustness import (
+    NOISE_PROTOCOLS,
+    RobustnessResult,
+    make_noisy_dataset,
+    robustness_experiment,
+)
+from .spearman import knn_list_correlation, rank, spearman
+from .timing import Timer, format_series_table, time_call
+from .ubfactor import UBFactorResult, random_ub_factor, ub_factor, vp_experiment
+
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_diff_ci",
+    "bootstrap_mean_ci",
+    "ClassificationResult",
+    "classification_experiment",
+    "cross_validated_accuracy",
+    "nn_classify",
+    "PAPER_TABLE_I",
+    "FeatureProbe",
+    "feature_matrix",
+    "fig1d_ordering_scenario",
+    "format_feature_table",
+    "distance_table",
+    "knn_from_table",
+    "knn_scan",
+    "NOISE_PROTOCOLS",
+    "RobustnessResult",
+    "make_noisy_dataset",
+    "robustness_experiment",
+    "knn_list_correlation",
+    "rank",
+    "spearman",
+    "Timer",
+    "format_series_table",
+    "time_call",
+    "UBFactorResult",
+    "random_ub_factor",
+    "ub_factor",
+    "vp_experiment",
+]

@@ -1,0 +1,43 @@
+"""k-NN helpers shared by the evaluation harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["distance_table", "knn_from_table", "knn_scan"]
+
+DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+def distance_table(
+    query: Trajectory,
+    database: Sequence[Trajectory],
+    distance: DistanceFn,
+) -> Dict[int, float]:
+    """Distance from ``query`` to every database trajectory.
+
+    Keys are each trajectory's ``traj_id`` when set, else its position.
+    """
+    out: Dict[int, float] = {}
+    for pos, traj in enumerate(database):
+        tid = traj.traj_id if traj.traj_id is not None else pos
+        out[tid] = distance(query, traj)
+    return out
+
+
+def knn_from_table(table: Dict[Hashable, float], k: int) -> List[Tuple[Hashable, float]]:
+    """Top-k (id, distance) pairs of a distance table, deterministic ties."""
+    ordered = sorted(table.items(), key=lambda x: (x[1], str(x[0])))
+    return ordered[:k]
+
+
+def knn_scan(
+    query: Trajectory,
+    database: Sequence[Trajectory],
+    distance: DistanceFn,
+    k: int,
+) -> List[Tuple[Hashable, float]]:
+    """Brute-force k-NN under an arbitrary distance function."""
+    return knn_from_table(distance_table(query, database, distance), k)

@@ -1,0 +1,42 @@
+"""Experiment drivers — one module per paper table/figure.
+
+These produce the data rows; ``benchmarks/`` wraps them in pytest-benchmark
+targets and ``python -m repro`` prints them interactively.  EXPERIMENTS.md
+records the paper-vs-measured comparison for each.
+"""
+
+from .common import (
+    beijing_database,
+    classification_metrics,
+    edr_interpolated_metric,
+    robustness_metrics,
+    suggest_eps,
+)
+from .fig5a import Fig5aResult, run_fig5a
+from .fig5_robust import PAPER_PROTOCOL_FIGURES, SweepResult, robustness_sweep
+from .fig6_index import QueryTimeResult, run_fig5j, run_scaling, run_theta_sweep
+from .fig6cd import UBSweepResult, run_fig6c, run_fig6d
+from .table1 import Table1Result, run_table1, scenario_anchors
+
+__all__ = [
+    "beijing_database",
+    "classification_metrics",
+    "edr_interpolated_metric",
+    "robustness_metrics",
+    "suggest_eps",
+    "Fig5aResult",
+    "run_fig5a",
+    "PAPER_PROTOCOL_FIGURES",
+    "SweepResult",
+    "robustness_sweep",
+    "QueryTimeResult",
+    "run_fig5j",
+    "run_scaling",
+    "run_theta_sweep",
+    "UBSweepResult",
+    "run_fig6c",
+    "run_fig6d",
+    "Table1Result",
+    "run_table1",
+    "scenario_anchors",
+]

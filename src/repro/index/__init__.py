@@ -1,0 +1,35 @@
+"""TrajTree index (paper Sec. IV).
+
+Public surface:
+
+* :class:`~repro.index.stbox.STBox` — spatio-temporal bounding box (Def. 4).
+* :class:`~repro.index.tboxseq.TBoxSeq` and
+  :func:`~repro.index.tboxseq.edwp_sub_box` — box sequences and the
+  Theorem-2 lower bound.
+* :func:`~repro.index.partition.partition` — pivot partitioning (Alg. 1).
+* :class:`~repro.index.vantage.VantageIndex` — Lipschitz-style vantage
+  descriptors and the VP-based upper bound (Sec. IV-E).
+* :class:`~repro.index.trajtree.TrajTree` — the index with exact k-NN
+  querying (Alg. 2).
+"""
+
+from .stbox import STBox
+from .tboxseq import TBoxSeq, edwp_sub_box
+from .partition import partition
+from .vantage import VantageIndex, select_vantage_points, vantage_distance, vp_distance
+from .trajtree import TrajTree
+from .persistence import load_tree, save_tree
+
+__all__ = [
+    "STBox",
+    "TBoxSeq",
+    "edwp_sub_box",
+    "partition",
+    "VantageIndex",
+    "select_vantage_points",
+    "vantage_distance",
+    "vp_distance",
+    "TrajTree",
+    "load_tree",
+    "save_tree",
+]

@@ -1,0 +1,75 @@
+"""TrajTree persistence.
+
+Index construction is the expensive phase (`O(|D|^2 / bf)` EDwPsub
+alignments, Sec. IV-F), so a production deployment builds once and reloads
+thereafter.  The tree is a plain object graph of floats/ints/numpy arrays;
+pickle round-trips it faithfully, and a version/fingerprint header guards
+against loading an index built by an incompatible library version or over a
+different database.
+
+Pickle executes code on load; only load index files you created.  (The
+trajectory *data* has a portable exchange format in
+:mod:`repro.datasets.io`; the index is a cache, not an interchange format.)
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from .trajtree import TrajTree
+
+__all__ = ["save_tree", "load_tree"]
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-trajtree"
+#: bumped together with the package version when index layout changes
+_FORMAT_VERSION = "1.0.0"
+
+
+def _fingerprint(tree: TrajTree) -> dict:
+    """Cheap integrity descriptor of the indexed database."""
+    ids = sorted(tree.ids())
+    return {
+        "count": len(ids),
+        "first_ids": ids[:8],
+        "total_points": sum(len(tree.get(t)) for t in ids[:32]),
+    }
+
+
+def save_tree(tree: TrajTree, path: PathLike) -> None:
+    """Serialize a TrajTree (including its trajectory database) to disk."""
+    payload = {
+        "magic": _MAGIC,
+        "version": _FORMAT_VERSION,
+        "fingerprint": _fingerprint(tree),
+        "tree": tree,
+    }
+    with open(path, "wb") as f:
+        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_tree(path: PathLike) -> TrajTree:
+    """Load a TrajTree written by :func:`save_tree`.
+
+    Raises ``ValueError`` for files that are not TrajTree snapshots or were
+    written by a different library version (rebuild instead: bounds and
+    defaults may have changed between versions).
+    """
+    with open(path, "rb") as f:
+        payload = pickle.load(f)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ValueError(f"{path!s} is not a TrajTree snapshot")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"index was written by version {payload.get('version')}, "
+            f"this library expects {_FORMAT_VERSION}; rebuild the index"
+        )
+    tree = payload["tree"]
+    if not isinstance(tree, TrajTree):
+        raise ValueError(f"{path!s} does not contain a TrajTree")
+    if _fingerprint(tree) != payload.get("fingerprint"):
+        raise ValueError(f"{path!s} fingerprint mismatch; file corrupted?")
+    return tree

@@ -1,0 +1,376 @@
+"""Trajectory box sequences and the box-generalized EDwPsub (Sec. IV-A/B/C).
+
+A tBoxSeq summarizes a *set* of trajectories as an ordered sequence of
+st-boxes.  Two operations matter:
+
+* **Construction** (Sec. IV-B): a tBoxSeq starts from a single trajectory
+  (one box per segment, compacted) and absorbs further trajectories by
+  aligning them against the existing boxes with the box-generalized EDwPsub
+  and growing every box by the pieces matched to it.
+* **Lower bounding** (Sec. IV-C, Theorem 2): ``edwp_sub_box(Q, B)`` runs the
+  same EDwPsub dynamic program with the generalized primitives — point-to-box
+  distances, projections of boxes onto segments, and Coverage using the box's
+  ``minL`` — yielding a cheap underestimate of ``EDwP(Q, T)`` for the
+  trajectories ``T`` summarized by ``B``.
+
+The DP mirrors :func:`repro.core.edwp._edwp_dp` with the second axis ranging
+over boxes, with one crucial change to the cost model.  A true EDwP
+alignment may split a query segment at arbitrary interior points; costing a
+consumed piece as ``(d(start) + d(end)) * len`` (the chord/trapezoid form)
+can then *overestimate* what the finely-split true alignment pays, because
+the distance-to-box profile along a segment is convex — the chord lies
+above the curve.  Every true edit with query piece ``P`` and trajectory
+piece ``P_T`` costs at least ``2 * integral of d_box over P`` (trapezoid >=
+integral for convex profiles) plus ``2 * min_P(d_box) * |P_T|``; both terms
+are additive over arbitrary splits, so the DP uses them directly:
+
+* consuming a piece costs ``2 * ∫ d_box`` (midpoint rule, which
+  *under*-estimates convex integrals — soundness is preserved);
+* consuming a *box* additionally costs ``2 * d_min * minL`` with ``d_min``
+  the exact minimum distance from the piece to the box (the projection).
+
+This makes the bound robust to how the true alignment subdivides segments;
+the Theorem-2 property tests exercise it on adversarial inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.edwp import _spatial_points
+from ..core.geometry import Point, point_distance
+from ..core.trajectory import Trajectory
+from .stbox import STBox
+
+__all__ = ["TBoxSeq", "BoxEdit", "edwp_sub_box", "edwp_sub_box_alignment"]
+
+_REP = 0
+_INS_T = 1  # trajectory splits; the box is consumed
+_INS_B = 2  # trajectory segment consumed against the current (unconsumed) box
+_SKIP = 3
+_OP_NAMES = {_REP: "rep", _INS_T: "ins_t", _INS_B: "ins_b"}
+
+#: Default cap on the number of boxes per tBoxSeq.  Box count multiplies the
+#: cost of every query-time lower bound, so node summaries stay coarse; 12
+#: was tuned on the synthetic Beijing workload (pruning power saturates
+#: while bound cost keeps rising with more boxes).
+DEFAULT_MAX_BOXES = 12
+
+
+@dataclass(frozen=True)
+class BoxEdit:
+    """One edit of a trajectory-vs-tBoxSeq alignment."""
+
+    op: str
+    piece: Tuple[Point, Point]
+    box_index: int
+    cost: float
+
+
+class TBoxSeq:
+    """A sequence of st-boxes summarizing a set of trajectories (Def. 5)."""
+
+    __slots__ = ("boxes",)
+
+    def __init__(self, boxes: Sequence[STBox]):
+        if not boxes:
+            raise ValueError("a tBoxSeq needs at least one box")
+        self.boxes = list(boxes)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __getitem__(self, index: int) -> STBox:
+        return self.boxes[index]
+
+    def __repr__(self) -> str:
+        return f"TBoxSeq(n={len(self.boxes)}, volume={self.volume:.3g})"
+
+    @property
+    def volume(self) -> float:
+        """``Vol(B)``: sum of the box areas (Definition 5)."""
+        return sum(box.area for box in self.boxes)
+
+    # ------------------------------------------------------------------ #
+    # construction (Sec. IV-B)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_trajectory(
+        traj: Trajectory, max_boxes: int = DEFAULT_MAX_BOXES
+    ) -> "TBoxSeq":
+        """Initial tBoxSeq: one tight box per st-segment, then compacted.
+
+        ``createTBoxSeq(T1)`` of the paper's iterative procedure.
+        """
+        if traj.num_segments == 0:
+            raise ValueError("cannot summarize a trajectory with no segments")
+        boxes = [STBox.from_segment(seg) for seg in traj.segments()]
+        return TBoxSeq(boxes).compacted(max_boxes)
+
+    @staticmethod
+    def from_trajectories(
+        trajectories: Sequence[Trajectory], max_boxes: int = DEFAULT_MAX_BOXES
+    ) -> "TBoxSeq":
+        """``tBoxSeq(T)`` over a set: initialize from the first trajectory and
+        absorb the rest one at a time (the paper's iterative procedure)."""
+        if not trajectories:
+            raise ValueError("cannot summarize an empty set of trajectories")
+        seq = TBoxSeq.from_trajectory(trajectories[0], max_boxes=max_boxes)
+        for traj in trajectories[1:]:
+            seq = seq.with_trajectory(traj, max_boxes=max_boxes)
+        return seq
+
+    def with_trajectory(
+        self, traj: Trajectory, max_boxes: int = DEFAULT_MAX_BOXES
+    ) -> "TBoxSeq":
+        """``createTBoxSeq(T, B)``: align ``T`` against the boxes with the
+        generalized EDwPsub and grow each box by the pieces matched to it.
+
+        Boxes the alignment skipped pass through unchanged.  The box count is
+        stable (pieces merge into the boxes they matched), then compaction
+        enforces ``max_boxes``.
+        """
+        if traj.num_segments == 0:
+            return self
+        _, edits = edwp_sub_box_alignment(traj, self)
+        grown: Dict[int, STBox] = {}
+        for edit in edits:
+            idx = edit.box_index
+            box = grown.get(idx, self.boxes[idx])
+            grown[idx] = box.expanded_by_piece(*edit.piece)
+        boxes = [grown.get(i, box) for i, box in enumerate(self.boxes)]
+        return TBoxSeq(boxes).compacted(max_boxes)
+
+    def volume_increase(self, traj: Trajectory) -> float:
+        """``Vol(tBoxSeq({B, T})) - Vol(B)`` — the insertion criterion of
+        Alg. 1 (line 11) and of dynamic inserts (Sec. IV-F)."""
+        return self.with_trajectory(traj).volume - self.volume
+
+    def compacted(self, max_boxes: int) -> "TBoxSeq":
+        """Merge adjacent boxes (cheapest union first) until within budget."""
+        if len(self.boxes) <= max_boxes:
+            return self
+        boxes = list(self.boxes)
+        while len(boxes) > max_boxes:
+            best_i = 0
+            best_growth = math.inf
+            for i in range(len(boxes) - 1):
+                union = boxes[i].union(boxes[i + 1])
+                growth = union.area - boxes[i].area - boxes[i + 1].area
+                if growth < best_growth:
+                    best_growth = growth
+                    best_i = i
+            boxes[best_i: best_i + 2] = [boxes[best_i].union(boxes[best_i + 1])]
+        return TBoxSeq(boxes)
+
+
+# ---------------------------------------------------------------------- #
+# the box-generalized EDwPsub dynamic program
+# ---------------------------------------------------------------------- #
+
+
+def _box_dp(
+    pts: Sequence[Point],
+    boxes: Sequence[STBox],
+    keep_parents: bool,
+    free_start_row: bool = True,
+) -> Tuple[
+    List[List[float]],
+    Optional[List[List[int]]],
+    List[List[Point]],
+]:
+    """Free-start / free-end DP of a trajectory against a box sequence.
+
+    State ``(i, j)``: ``i`` trajectory segments and ``j`` boxes consumed.
+    Cell payload is the current position on the trajectory (boxes have no
+    interior position).  Row 0 is free (prefix skip) unless
+    ``free_start_row`` is off (the PrefixDist-style anchored pass); the
+    caller minimizes over the last row (suffix skip).
+    """
+    n = len(pts) - 1
+    m = len(boxes)
+    inf = math.inf
+    rows, cols = n + 1, m + 1
+
+    cost = [[inf] * cols for _ in range(rows)]
+    pos: List[List[Point]] = [[(0.0, 0.0)] * cols for _ in range(rows)]
+    parents: Optional[List[List[int]]] = (
+        [[-1] * cols for _ in range(rows)] if keep_parents else None
+    )
+
+    start = pts[0]
+    if free_start_row:
+        for j in range(cols):
+            cost[0][j] = 0.0
+            pos[0][j] = start
+            if parents is not None:
+                parents[0][j] = _SKIP
+    else:
+        cost[0][0] = 0.0
+        pos[0][0] = start
+        if parents is not None:
+            parents[0][0] = _SKIP
+
+    dist = point_distance
+
+    def piece_cost(cur: Point, end: Point, box: STBox) -> float:
+        """``2 * ∫ d_box`` over the piece, by the 3-point midpoint rule.
+
+        Midpoint sums under-estimate integrals of convex profiles, so the
+        value never exceeds what any true alignment pays for this piece.
+        """
+        length = dist(cur, end)
+        if length == 0.0:
+            return 0.0
+        cx, cy = cur
+        dx = end[0] - cx
+        dy = end[1] - cy
+        acc = 0.0
+        for f in (1.0 / 6.0, 0.5, 5.0 / 6.0):
+            acc += box.dist_point((cx + dx * f, cy + dy * f))
+        return 2.0 * length * (acc / 3.0)
+
+    for i in range(rows):
+        row_cost = cost[i]
+        row_pos = pos[i]
+        for j in range(cols):
+            if i == 0 and (free_start_row or j == 0):
+                continue
+            best = inf
+            best_pos = (0.0, 0.0)
+            best_op = -1
+
+            # rep: consume segment piece [cur, pts[i]] and box j-1.
+            if i > 0 and j > 0:
+                c = cost[i - 1][j - 1]
+                if c < inf:
+                    cur = pos[i - 1][j - 1]
+                    box = boxes[j - 1]
+                    end = pts[i]
+                    proj, _ = box.project_on_segment(cur, end)
+                    incr = piece_cost(cur, end, box) + (
+                        2.0 * box.dist_point(proj) * box.min_len
+                    )
+                    total = c + incr
+                    if total < best:
+                        best = total
+                        best_pos = end
+                        best_op = _REP
+
+            # ins on T: split the remaining segment at the point closest to
+            # box j-1 and consume the box against the first piece (the box
+            # analogue of the projection insert).
+            if j > 0:
+                c = row_cost[j - 1]
+                if c < inf:
+                    cur = row_pos[j - 1]
+                    box = boxes[j - 1]
+                    if i < n:
+                        q, _ = box.project_on_segment(cur, pts[i + 1])
+                    else:
+                        q = cur
+                    incr = piece_cost(cur, q, box) + (
+                        2.0 * box.dist_point(q) * box.min_len
+                    )
+                    total = c + incr
+                    if total < best:
+                        best = total
+                        best_pos = q
+                        best_op = _INS_T
+
+            # ins on B: consume the segment piece against the *current*
+            # (still unconsumed) box.  Zero box-length coverage keeps the
+            # bound an underestimate when several segments share one box.
+            c = cost[i - 1][j] if i > 0 else inf
+            if c < inf:
+                cur = pos[i - 1][j]
+                box = boxes[j] if j < m else boxes[m - 1]
+                end = pts[i]
+                incr = piece_cost(cur, end, box)
+                total = c + incr
+                if total < best:
+                    best = total
+                    best_pos = end
+                    best_op = _INS_B
+
+            row_cost[j] = best
+            row_pos[j] = best_pos
+            if parents is not None:
+                parents[i][j] = best_op
+
+    return cost, parents, pos
+
+
+def edwp_sub_box(traj: Trajectory, seq: TBoxSeq, thorough: bool = False) -> float:
+    """``EDwPsub(T, B)`` for a box sequence — the Theorem-2 lower bound.
+
+    Returns 0 for a trajectory with no segments (nothing to align).
+
+    With ``thorough`` the value is the minimum of the free-start and the
+    anchored (PrefixDist-style) DP passes, mirroring
+    :func:`repro.core.edwp_sub.edwp_sub`; the default single free-start
+    pass is what query-time pruning uses — half the cost, and still an
+    empirical underestimate of ``EDwP(Q, T)`` (validated by the Theorem-2
+    property tests).
+    """
+    if traj.num_segments == 0:
+        return 0.0
+    pts = _spatial_points(traj)
+    n = len(pts) - 1
+    free, _, _ = _box_dp(pts, seq.boxes, keep_parents=False)
+    value = min(free[n])
+    if thorough:
+        anchored, _, _ = _box_dp(pts, seq.boxes, keep_parents=False,
+                                 free_start_row=False)
+        value = min(value, min(anchored[n]))
+    return value
+
+
+def edwp_sub_box_alignment(
+    traj: Trajectory, seq: TBoxSeq
+) -> Tuple[float, List[BoxEdit]]:
+    """Free-start lower-bound value plus the per-edit alignment.
+
+    Construction (``with_trajectory``) consumes the alignment; the
+    single-pass value matches the default :func:`edwp_sub_box`.
+    """
+    if traj.num_segments == 0:
+        return 0.0, []
+    pts = _spatial_points(traj)
+    boxes = seq.boxes
+    n = len(pts) - 1
+    m = len(boxes)
+    cost, parents, pos = _box_dp(pts, boxes, keep_parents=True)
+    j = min(range(m + 1), key=cost[n].__getitem__)
+    assert parents is not None
+    value = cost[n][j]
+    i = n
+    edits: List[BoxEdit] = []
+    while i > 0 or j > 0:
+        op = parents[i][j]
+        if op == _SKIP:
+            break
+        if op == _REP:
+            pi, pj = i - 1, j - 1
+            box_index = j - 1
+        elif op == _INS_T:
+            pi, pj = i, j - 1
+            box_index = j - 1
+        elif op == _INS_B:
+            pi, pj = i - 1, j
+            box_index = min(j, m - 1)
+        else:
+            raise RuntimeError(f"broken box DP backtrack at cell ({i}, {j})")
+        start = pos[pi][pj]
+        end = pos[i][j]
+        edit_cost = cost[i][j] - cost[pi][pj]
+        edits.append(
+            BoxEdit(op=_OP_NAMES[op], piece=(start, end), box_index=box_index,
+                    cost=edit_cost)
+        )
+        i, j = pi, pj
+    edits.reverse()
+    return value, edits

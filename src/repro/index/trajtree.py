@@ -1,0 +1,648 @@
+"""TrajTree — hierarchical index for exact k-NN retrieval under EDwP.
+
+Paper Sec. IV-D..G.  Every node summarizes the trajectories of its subtree
+with (a) a tBoxSeq, whose box-generalized EDwPsub gives a *lower bound* on
+the distance from a query to anything below the node (Theorem 2), and (b) a
+set of vantage points with descriptors for the whole subtree, whose
+descriptor-space top-k gives a cheap *upper bound* on the k-NN distance
+(Eq. 14).  Querying (Alg. 2) is a best-first search: nodes are dequeued in
+lower-bound order, each dequeued node refines the upper bound through its
+VPs and enqueues the children whose lower bounds beat it.
+
+Deviation from the pseudo-code, documented in DESIGN.md: when a leaf node
+survives pruning we compute the exact EDwP of all its (≤ ``min_node_size``)
+unprocessed members immediately instead of re-enqueueing each trajectory
+keyed by the trajectory-level EDwPsub.  The practical DP realization of
+EDwPsub is not a guaranteed lower bound trajectory-to-trajectory (see
+DESIGN.md), so this keeps retrieval exact at negligible cost.
+
+The tree answers queries with either raw EDwP or the length-normalized
+EDwPavg the paper's experiments use (``normalized=True``); the lower bound
+for the normalized distance divides by ``length(Q) + max length`` in the
+subtree, preserving the underestimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.edwp import edwp
+from ..core.edwp_sub import edwp_sub
+from ..core.geometry import polyline_rect_distance
+from ..core.trajectory import Trajectory
+from .partition import partition
+from .tboxseq import DEFAULT_MAX_BOXES, TBoxSeq, edwp_sub_box
+from .vantage import VantageIndex
+
+__all__ = ["TrajTree", "TrajTreeStats"]
+
+
+@dataclass
+class TrajTreeStats:
+    """Counters describing one query or the tree shape."""
+
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    exact_computations: int = 0
+    bound_computations: int = 0
+    vp_rankings: int = 0
+
+
+class _Node:
+    """One TrajTree node: tBoxSeq summary + VP descriptors + children."""
+
+    __slots__ = ("boxseq", "vantage", "children", "member_ids", "max_length",
+                 "subtree_ids", "depth", "union_rect")
+
+    def __init__(
+        self,
+        boxseq: TBoxSeq,
+        vantage: Optional[VantageIndex],
+        children: List["_Node"],
+        member_ids: List[int],
+        max_length: float,
+        subtree_ids: List[int],
+        depth: int = 0,
+    ):
+        self.boxseq = boxseq
+        self.vantage = vantage
+        self.children = children          # empty => leaf
+        self.member_ids = member_ids      # leaf: trajectory ids stored here
+        self.max_length = max_length      # max trajectory length in subtree
+        self.subtree_ids = subtree_ids    # all ids under this node
+        self.depth = depth                # root = 0
+        # union rectangle over all boxes: feeds the cheap pre-filter bound
+        self.union_rect = (
+            min(b.xmin for b in boxseq.boxes),
+            min(b.ymin for b in boxseq.boxes),
+            max(b.xmax for b in boxseq.boxes),
+            max(b.ymax for b in boxseq.boxes),
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def count(self) -> int:
+        return len(self.subtree_ids)
+
+
+class TrajTree:
+    """The TrajTree index (paper Sec. IV).
+
+    Parameters
+    ----------
+    trajectories:
+        The database to bulk-load.  Each trajectory needs at least one
+        segment.  ``traj_id`` attributes are respected when present and
+        unique; positional ids are assigned otherwise.
+    theta:
+        Diversity-drop threshold of Alg. 1 (default 0.8, the paper's tuned
+        value, Fig. 6b).  Larger θ allows more pivots per node (higher
+        branching factor): tighter bounds, more bound computations.
+    num_vps:
+        Vantage points per node (default 80, Sec. V-A).
+    min_node_size:
+        Maximum leaf size ``n`` (default 10, Sec. V-A).
+    normalized:
+        Answer queries with EDwPavg (Eq. 4) instead of raw EDwP.
+    max_boxes:
+        Box budget per tBoxSeq (implementation knob, see tboxseq module).
+    max_branching:
+        Hard cap on pivots per node.  Alg. 1 stops growing the pivot set
+        only when diversity drops sharply; on data without cluster structure
+        that may never happen, so the cap keeps the tree from degenerating
+        into one child per trajectory (implementation guardrail).
+    vp_levels:
+        Apply the Alg.-2 VP refinement step only to nodes shallower than
+        this depth (root = depth 0).  The paper refines at every dequeued
+        node, which is right when ``k * nodes_visited`` is negligible
+        against the database size; at laptop scales the root-level upper
+        bound (already tight, Fig. 6c) does the work and deeper refinement
+        mostly re-pays exact distances.  Set to a large value for the
+        paper's literal behaviour.
+    seed:
+        Seeds pivot/VP selection; builds are deterministic given a seed.
+    rebuild_ratio:
+        Fraction of accumulated updates (inserts + deletes) relative to the
+        database size beyond which :meth:`needs_rebuild` reports True
+        (Sec. IV-F's staleness heuristic).
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        theta: float = 0.8,
+        num_vps: int = 80,
+        min_node_size: int = 10,
+        normalized: bool = False,
+        max_boxes: int = DEFAULT_MAX_BOXES,
+        max_branching: int = 16,
+        vp_levels: int = 1,
+        use_quick_bound: bool = True,
+        seed: int = 0,
+        rebuild_ratio: float = 0.3,
+    ):
+        if not trajectories:
+            raise ValueError("cannot index an empty database")
+        for t in trajectories:
+            if t.num_segments == 0:
+                raise ValueError("every indexed trajectory needs >= 1 segment")
+        self.theta = theta
+        self.num_vps = num_vps
+        self.min_node_size = min_node_size
+        self.normalized = normalized
+        self.max_boxes = max_boxes
+        self.max_branching = max_branching
+        self.vp_levels = vp_levels
+        self.use_quick_bound = use_quick_bound
+        self.seed = seed
+        self.rebuild_ratio = rebuild_ratio
+
+        self._rng = random.Random(seed)
+        self._db: Dict[int, Trajectory] = {}
+        ids = self._assign_ids(trajectories)
+        self._updates_since_build = 0
+        self.build_stats = TrajTreeStats()
+        self.root = self._build(ids)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _assign_ids(self, trajectories: Sequence[Trajectory]) -> List[int]:
+        provided = [t.traj_id for t in trajectories]
+        use_provided = all(p is not None for p in provided) and len(
+            set(provided)
+        ) == len(provided)
+        ids: List[int] = []
+        for pos, traj in enumerate(trajectories):
+            tid = int(traj.traj_id) if use_provided else pos
+            self._db[tid] = traj
+            ids.append(tid)
+        return ids
+
+    def _build(self, ids: List[int], depth: int = 0) -> _Node:
+        trajs = [self._db[i] for i in ids]
+        boxseq = TBoxSeq.from_trajectories(trajs, max_boxes=self.max_boxes)
+        vantage: Optional[VantageIndex] = None
+        if depth < self.vp_levels:
+            vantage = VantageIndex.build(trajs, ids, self.num_vps, self._rng)
+        max_length = max(t.length for t in trajs)
+        self.build_stats.nodes_visited += 1
+
+        result = partition(
+            trajs,
+            theta=self.theta,
+            min_node_size=self.min_node_size,
+            rng=self._rng,
+            max_boxes=self.max_boxes,
+            max_pivots=self.max_branching,
+        )
+        if result is None or len(result.groups) < 2:
+            return _Node(boxseq, vantage, [], list(ids), max_length,
+                         list(ids), depth)
+
+        children = [
+            self._build([ids[i] for i in group], depth + 1)
+            for group in result.groups
+        ]
+        return _Node(boxseq, vantage, children, [], max_length, list(ids),
+                     depth)
+
+    # ------------------------------------------------------------------ #
+    # public container surface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+    def __contains__(self, traj_id: int) -> bool:
+        return traj_id in self._db
+
+    def get(self, traj_id: int) -> Trajectory:
+        """The stored trajectory with this id."""
+        return self._db[traj_id]
+
+    def ids(self) -> List[int]:
+        """All trajectory ids currently indexed."""
+        return list(self._db)
+
+    def height(self) -> int:
+        """Tree height (a leaf-only tree has height 1)."""
+
+        def depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(c) for c in node.children)
+
+        return depth(self.root)
+
+    def node_count(self) -> int:
+        """Total number of nodes."""
+
+        def count(node: _Node) -> int:
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self.root)
+
+    def storage_summary(self) -> Dict[str, int]:
+        """Concrete counts behind the paper's storage analysis (Sec. IV-F).
+
+        The paper bounds storage by ``O(bf*|D|/(bf-1))`` nodes plus
+        ``|V|*|D|*log_bf |D|`` stored vantage-descriptor entries; this
+        reports the realized numbers for the current tree.
+        """
+        nodes = 0
+        boxes = 0
+        descriptor_entries = 0
+        leaves = 0
+
+        def walk(node: _Node) -> None:
+            nonlocal nodes, boxes, descriptor_entries, leaves
+            nodes += 1
+            boxes += len(node.boxseq)
+            if node.vantage is not None:
+                descriptor_entries += node.vantage.descriptors.size
+            if node.is_leaf:
+                leaves += 1
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+        return {
+            "trajectories": len(self._db),
+            "nodes": nodes,
+            "leaves": leaves,
+            "boxes": boxes,
+            "descriptor_entries": descriptor_entries,
+        }
+
+    def branching_factors(self) -> List[int]:
+        """Branching factor of every internal node (θ controls these)."""
+        out: List[int] = []
+
+        def walk(node: _Node) -> None:
+            if not node.is_leaf:
+                out.append(len(node.children))
+                for c in node.children:
+                    walk(c)
+
+        walk(self.root)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # distances and bounds
+    # ------------------------------------------------------------------ #
+
+    def _exact(self, query: Trajectory, traj: Trajectory) -> float:
+        d = edwp(query, traj)
+        if not self.normalized:
+            return d
+        denom = query.length + traj.length
+        if denom <= 0.0:
+            return 0.0 if d == 0.0 else math.inf
+        return d / denom
+
+    def _bound(self, query: Trajectory, node: _Node) -> float:
+        lb = edwp_sub_box(query, node.boxseq)
+        if not self.normalized:
+            return lb
+        denom = query.length + node.max_length
+        if denom <= 0.0:
+            return 0.0
+        return lb / denom
+
+    def _quick_bound(self, query: Trajectory, node: _Node) -> float:
+        """Cheap pre-filter lower bound.
+
+        Every EDwP edit costs ``(d(start) + d(end)) * coverage`` with both
+        positions on the query polyline and coverage at least the query
+        piece length; pieces tile the query, so
+        ``EDwP >= 2 * dist(polyline(Q), boxes) * length(Q)``.  The union
+        rectangle of the node's boxes underestimates the box distance, so
+        the whole expression stays a lower bound — computed with one
+        vectorized geometry call instead of a DP.
+        """
+        dmin = polyline_rect_distance(query.spatial(), *node.union_rect)
+        lb = 2.0 * dmin * query.length
+        if not self.normalized:
+            return lb
+        denom = query.length + node.max_length
+        if denom <= 0.0:
+            return 0.0
+        return lb / denom
+
+    # ------------------------------------------------------------------ #
+    # querying (Alg. 2)
+    # ------------------------------------------------------------------ #
+
+    def knn(
+        self,
+        query: Trajectory,
+        k: int,
+        stats: Optional[TrajTreeStats] = None,
+    ) -> List[Tuple[int, float]]:
+        """Exact k nearest neighbours of ``query`` under (normalized) EDwP.
+
+        Returns ``[(traj_id, distance), ...]`` sorted ascending.  ``stats``
+        (optional) accumulates visit/prune/computation counters.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if query.num_segments == 0:
+            raise ValueError("query needs at least one segment")
+        if stats is None:
+            stats = TrajTreeStats()
+
+        counter = itertools.count()
+        cands: List[Tuple[float, int, _Node]] = []
+        heapq.heappush(cands, (0.0, next(counter), self.root))
+
+        # ans: max-heap of size <= k holding (-dist, -traj_id); ties resolve
+        # by trajectory id so results match the sequential-scan oracle.
+        ans: List[Tuple[float, int]] = []
+        processed: set = set()
+
+        def kth() -> float:
+            return -ans[0][0] if len(ans) >= k else math.inf
+
+        def offer(tid: int) -> None:
+            if tid in processed:
+                return
+            processed.add(tid)
+            stats.exact_computations += 1
+            d = self._exact(query, self._db[tid])
+            if len(ans) < k:
+                heapq.heappush(ans, (-d, -tid))
+            elif (d, tid) < (-ans[0][0], -ans[0][1]):
+                heapq.heapreplace(ans, (-d, -tid))
+
+        while cands:
+            bound, _, node = heapq.heappop(cands)
+            if bound > kth():
+                # min-heap order: every remaining candidate is also pruned.
+                # (Strict comparison: an equal bound could still hide an
+                # equal-distance trajectory that wins the id tie-break.)
+                stats.nodes_pruned += 1 + len(cands)
+                break
+            stats.nodes_visited += 1
+
+            # Step 1 (Alg. 2 lines 8-10): refine the upper bound via VPs.
+            if node.vantage is not None and len(node.vantage) > 0:
+                stats.vp_rankings += 1
+                qdesc = node.vantage.describe(query)
+                for tid, _vd in node.vantage.top_k(qdesc, k, exclude=processed):
+                    offer(tid)
+
+            if node.is_leaf:
+                # Exact distances for the few remaining members.
+                for tid in node.member_ids:
+                    offer(tid)
+                continue
+
+            # Step 2 (lines 11-13): enqueue children that can still matter.
+            for child in node.children:
+                quick = (
+                    self._quick_bound(query, child)
+                    if self.use_quick_bound else 0.0
+                )
+                if quick > kth():
+                    stats.nodes_pruned += 1
+                    continue
+                stats.bound_computations += 1
+                lb = max(quick, self._bound(query, child))
+                if lb <= kth():
+                    heapq.heappush(cands, (lb, next(counter), child))
+                else:
+                    stats.nodes_pruned += 1
+
+        result = sorted((( -negid, -negd) for negd, negid in ans),
+                        key=lambda x: (x[1], x[0]))
+        return [(tid, d) for tid, d in result]
+
+    def knn_scan(self, query: Trajectory, k: int) -> List[Tuple[int, float]]:
+        """Brute-force sequential scan (the paper's baseline and the oracle
+        used by the test-suite to verify exactness)."""
+        dists = [(tid, self._exact(query, t)) for tid, t in self._db.items()]
+        dists.sort(key=lambda x: (x[1], x[0]))
+        return dists[:k]
+
+    # ------------------------------------------------------------------ #
+    # extensions beyond the paper's Alg. 2 (Sec. VI notes TrajTree
+    # "can potentially be utilized for other trajectory operations")
+    # ------------------------------------------------------------------ #
+
+    def range_query(
+        self,
+        query: Trajectory,
+        radius: float,
+        stats: Optional[TrajTreeStats] = None,
+    ) -> List[Tuple[int, float]]:
+        """All trajectories within (normalized) EDwP ``radius`` of the query.
+
+        Uses the same lower bounds as k-NN: a subtree is skipped when its
+        bound exceeds the radius.  Returns ``[(traj_id, distance), ...]``
+        sorted ascending.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if query.num_segments == 0:
+            raise ValueError("query needs at least one segment")
+        if stats is None:
+            stats = TrajTreeStats()
+
+        out: List[Tuple[int, float]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            stats.nodes_visited += 1
+            if self.use_quick_bound and self._quick_bound(query, node) > radius:
+                stats.nodes_pruned += 1
+                continue
+            stats.bound_computations += 1
+            if self._bound(query, node) > radius:
+                stats.nodes_pruned += 1
+                continue
+            if node.is_leaf:
+                for tid in node.member_ids:
+                    stats.exact_computations += 1
+                    d = self._exact(query, self._db[tid])
+                    if d <= radius:
+                        out.append((tid, d))
+            else:
+                stack.extend(node.children)
+        out.sort(key=lambda x: (x[1], x[0]))
+        return out
+
+    def range_query_scan(
+        self, query: Trajectory, radius: float
+    ) -> List[Tuple[int, float]]:
+        """Brute-force range-query oracle."""
+        out = [
+            (tid, d)
+            for tid, t in self._db.items()
+            if (d := self._exact(query, t)) <= radius
+        ]
+        out.sort(key=lambda x: (x[1], x[0]))
+        return out
+
+    def subtrajectory_knn(
+        self, query: Trajectory, k: int
+    ) -> List[Tuple[int, float]]:
+        """k trajectories containing the sub-trajectory most similar to
+        ``query`` under ``EDwPsub`` (Eq. 6).
+
+        The box-sequence bound underestimates ``EDwPsub(Q, T)`` for the
+        same reason it underestimates ``EDwP(Q, T)`` (sub-alignment only
+        removes cost), so the best-first search carries over.  Distances
+        are raw ``EDwPsub`` values (length normalization is not meaningful
+        when only part of the target is matched).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if query.num_segments == 0:
+            raise ValueError("query needs at least one segment")
+
+        counter = itertools.count()
+        cands: List[Tuple[float, int, _Node]] = []
+        heapq.heappush(cands, (0.0, next(counter), self.root))
+        ans: List[Tuple[float, int]] = []
+
+        def kth() -> float:
+            return -ans[0][0] if len(ans) >= k else math.inf
+
+        processed: set = set()
+
+        def offer(tid: int) -> None:
+            if tid in processed:
+                return
+            processed.add(tid)
+            d = edwp_sub(query, self._db[tid])
+            if len(ans) < k:
+                heapq.heappush(ans, (-d, -tid))
+            elif (d, tid) < (-ans[0][0], -ans[0][1]):
+                heapq.heapreplace(ans, (-d, -tid))
+
+        while cands:
+            bound, _, node = heapq.heappop(cands)
+            if bound > kth():
+                break
+            if node.is_leaf:
+                for tid in node.member_ids:
+                    offer(tid)
+                continue
+            for child in node.children:
+                lb = edwp_sub_box(query, child.boxseq)
+                if lb <= kth():
+                    heapq.heappush(cands, (lb, next(counter), child))
+
+        result = sorted(((-negid, -negd) for negd, negid in ans),
+                        key=lambda x: (x[1], x[0]))
+        return [(tid, d) for tid, d in result]
+
+    def subtrajectory_knn_scan(
+        self, query: Trajectory, k: int
+    ) -> List[Tuple[int, float]]:
+        """Brute-force ``EDwPsub`` oracle."""
+        dists = [
+            (tid, edwp_sub(query, t)) for tid, t in self._db.items()
+        ]
+        dists.sort(key=lambda x: (x[1], x[0]))
+        return dists[:k]
+
+    # ------------------------------------------------------------------ #
+    # updates (Sec. IV-F)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, traj: Trajectory, traj_id: Optional[int] = None) -> int:
+        """Insert one trajectory without rebuilding.
+
+        Descends along the children whose tBoxSeq volume grows the least
+        (the bulk-load criterion), expanding every summary and descriptor
+        store on the path.  Existing pivots/VPs are reused (Sec. IV-F).
+        Returns the assigned id.
+        """
+        if traj.num_segments == 0:
+            raise ValueError("trajectory needs at least one segment")
+        if traj_id is None:
+            traj_id = (max(self._db) + 1) if self._db else 0
+        if traj_id in self._db:
+            raise ValueError(f"trajectory id {traj_id} already indexed")
+        self._db[traj_id] = traj
+
+        node = self.root
+        while True:
+            node.boxseq = node.boxseq.with_trajectory(
+                traj, max_boxes=self.max_boxes
+            )
+            node.max_length = max(node.max_length, traj.length)
+            node.subtree_ids.append(traj_id)
+            if node.vantage is not None:
+                node.vantage.keys.append(traj_id)
+                import numpy as np
+
+                row = node.vantage.describe(traj).reshape(1, -1)
+                node.vantage.descriptors = np.vstack(
+                    [node.vantage.descriptors, row]
+                )
+            if node.is_leaf:
+                node.member_ids.append(traj_id)
+                break
+            node = min(
+                node.children,
+                key=lambda c: c.boxseq.with_trajectory(
+                    traj, max_boxes=self.max_boxes
+                ).volume
+                - c.boxseq.volume,
+            )
+        self._updates_since_build += 1
+        return traj_id
+
+    def delete(self, traj_id: int) -> None:
+        """Delete a trajectory: descriptors and leaf membership are removed
+        along the path; tBoxSeqs remain unchanged (Sec. IV-F)."""
+        if traj_id not in self._db:
+            raise KeyError(f"trajectory id {traj_id} not indexed")
+        del self._db[traj_id]
+        self._delete_from(self.root, traj_id)
+        self._updates_since_build += 1
+
+    def _delete_from(self, node: _Node, traj_id: int) -> bool:
+        if traj_id not in node.subtree_ids:
+            return False
+        node.subtree_ids.remove(traj_id)
+        if node.vantage is not None and traj_id in node.vantage.keys:
+            import numpy as np
+
+            idx = node.vantage.keys.index(traj_id)
+            node.vantage.keys.pop(idx)
+            node.vantage.descriptors = np.delete(
+                node.vantage.descriptors, idx, axis=0
+            )
+        if node.is_leaf:
+            if traj_id in node.member_ids:
+                node.member_ids.remove(traj_id)
+            return True
+        for child in node.children:
+            if self._delete_from(child, traj_id):
+                return True
+        return True
+
+    def needs_rebuild(self) -> bool:
+        """Staleness heuristic: too many updates since the last build make
+        the tBoxSeqs loose (Sec. IV-F)."""
+        return self._updates_since_build > self.rebuild_ratio * max(1, len(self._db))
+
+    def rebuild(self) -> None:
+        """Bulk-rebuild the tree over the current database."""
+        self._rng = random.Random(self.seed)
+        self.build_stats = TrajTreeStats()
+        ids = list(self._db)
+        self.root = self._build(ids)
+        self._updates_since_build = 0

@@ -1,0 +1,16 @@
+"""Importable test helpers (conftest.py itself cannot be imported)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Trajectory
+
+
+def random_walk_trajectory(rng, n, scale=10.0, origin=None):
+    """Correlated-step random trajectory (more realistic than iid points)."""
+    steps = rng.normal(0, 1, (n - 1, 2)).cumsum(axis=0)
+    pts = np.vstack([[0.0, 0.0], steps]) * scale / max(1.0, n ** 0.5)
+    if origin is None:
+        origin = rng.uniform(0, scale, 2)
+    return Trajectory.from_xy(pts + origin)

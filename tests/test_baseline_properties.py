@@ -1,0 +1,140 @@
+"""Property-based tests for the baseline distances.
+
+Structural invariants every implementation must satisfy — symmetry,
+identity, bounds, and the defining relationships between the measures.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    discrete_frechet,
+    dissim,
+    dtw,
+    edr,
+    erp,
+    hausdorff,
+    lcss,
+    lcss_distance,
+    lcss_length,
+    lp_norm,
+    ma,
+)
+from repro.core import Trajectory
+
+
+def coords(min_points=1, max_points=7):
+    pair = st.tuples(
+        st.floats(-30, 30, allow_nan=False, allow_infinity=False),
+        st.floats(-30, 30, allow_nan=False, allow_infinity=False),
+    )
+    return st.lists(pair, min_size=min_points, max_size=max_points)
+
+
+def trajectory(min_points=1, max_points=7):
+    return coords(min_points, max_points).map(Trajectory.from_xy)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory())
+def test_dtw_symmetric_nonnegative(a, b):
+    d = dtw(a, b)
+    assert d >= 0.0
+    assert d == pytest.approx(dtw(b, a), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory())
+def test_dtw_identity(a):
+    assert dtw(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory(), st.floats(0.1, 10.0))
+def test_edr_bounds(a, b, eps):
+    d = edr(a, b, eps)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+    assert d == edr(b, a, eps)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory(), st.floats(0.1, 10.0))
+def test_lcss_bounds(a, b, eps):
+    l = lcss_length(a, b, eps)
+    assert 0 <= l <= min(len(a), len(b))
+    sim = lcss(a, b, eps)
+    assert 0.0 <= sim <= 1.0
+    assert 0.0 <= lcss_distance(a, b, eps) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory(), st.floats(0.1, 10.0))
+def test_edr_lcss_duality(a, b, eps):
+    """EDR can always delete-to-LCSS: edits <= n + m - 2*LCSS."""
+    l = lcss_length(a, b, eps)
+    assert edr(a, b, eps) <= len(a) + len(b) - 2 * l + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory())
+def test_erp_metric_properties(a, b):
+    d = erp(a, b)
+    assert d >= 0.0
+    assert d == pytest.approx(erp(b, a), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trajectory(2, 6), trajectory(2, 6), trajectory(2, 6))
+def test_erp_triangle_inequality(a, b, c):
+    assert erp(a, c) <= erp(a, b) + erp(b, c) + 1e-7
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory())
+def test_frechet_dominates_pointwise_hausdorff(a, b):
+    f = discrete_frechet(a, b)
+    assert f >= 0.0
+    assert f == pytest.approx(discrete_frechet(b, a), rel=1e-9, abs=1e-9)
+    if math.isfinite(f):
+        assert f >= hausdorff(a, b) - 1e-7
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory())
+def test_hausdorff_identity_and_symmetry(a):
+    assert hausdorff(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(2, 7), trajectory(2, 7))
+def test_dissim_nonnegative_symmetric(a, b):
+    d = dissim(a, b)
+    assert d >= 0.0
+    assert d == pytest.approx(dissim(b, a), rel=1e-7, abs=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory())
+def test_ma_nonnegative(a, b):
+    assert ma(a, b) >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), trajectory())
+def test_lp_norm_nonnegative_symmetric(a, b):
+    d = lp_norm(a, b)
+    assert d >= 0.0
+    if math.isfinite(d):
+        assert d == pytest.approx(lp_norm(b, a), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectory(), st.floats(0.5, 5.0))
+def test_edr_monotone_in_eps_vs_self_densified(a, eps):
+    """More tolerance never increases EDR."""
+    if a.num_segments == 0:
+        return
+    b = a.with_point_inserted(0, 0.5)
+    assert edr(a, b, eps * 2) <= edr(a, b, eps)

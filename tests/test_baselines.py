@@ -1,0 +1,224 @@
+"""Unit tests for the baseline distance functions (Table I comparators)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.baselines import (
+    MAParams,
+    dissim,
+    dtw,
+    edr,
+    edr_normalized,
+    erp,
+    lcss,
+    lcss_distance,
+    lcss_length,
+    lp_norm,
+    ma,
+)
+
+from helpers import random_walk_trajectory
+
+
+LINE = Trajectory.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+SHIFTED = Trajectory.from_xy([(0, 5), (1, 5), (2, 5), (3, 5)])
+
+
+class TestDTW:
+    def test_identity(self):
+        assert dtw(LINE, LINE) == 0.0
+
+    def test_parallel_lines(self):
+        assert dtw(LINE, SHIFTED) == pytest.approx(20.0)  # 4 matches x 5
+
+    def test_empty_cases(self):
+        assert dtw(Trajectory([]), Trajectory([])) == 0.0
+        assert dtw(LINE, Trajectory([])) == math.inf
+
+    def test_symmetry(self, rng):
+        a = random_walk_trajectory(rng, 6)
+        b = random_walk_trajectory(rng, 9)
+        assert dtw(a, b) == pytest.approx(dtw(b, a))
+
+    def test_many_to_one_absorbs_time_shift(self):
+        """DTW's raison d'etre: a point repeated on one side is free."""
+        a = Trajectory.from_xy([(0, 0), (1, 0), (2, 0)])
+        b = Trajectory.from_xy([(0, 0), (0, 0), (1, 0), (2, 0)])
+        assert dtw(a, b) == 0.0
+
+    def test_window_constrains(self, rng):
+        a = random_walk_trajectory(rng, 10)
+        b = random_walk_trajectory(rng, 10)
+        assert dtw(a, b, window=1) >= dtw(a, b) - 1e-9
+
+
+class TestLCSS:
+    def test_identical_full_match(self):
+        assert lcss_length(LINE, LINE, eps=0.5) == 4
+        assert lcss(LINE, LINE, eps=0.5) == 1.0
+        assert lcss_distance(LINE, LINE, eps=0.5) == 0.0
+
+    def test_no_match_beyond_eps(self):
+        assert lcss_length(LINE, SHIFTED, eps=0.5) == 0
+
+    def test_eps_is_per_dimension(self):
+        a = Trajectory.from_xy([(0, 0)])
+        b = Trajectory.from_xy([(0.9, 0.9)])
+        # euclidean distance 1.27 > 1, but per-dim deltas are < 1
+        assert lcss_length(a, b, eps=1.0) == 1
+
+    def test_subsequence_not_substring(self):
+        a = Trajectory.from_xy([(0, 0), (5, 5), (1, 0), (2, 0)])
+        b = Trajectory.from_xy([(0, 0), (1, 0), (2, 0)])
+        assert lcss_length(a, b, eps=0.1) == 3
+
+    def test_empty(self):
+        assert lcss_distance(Trajectory([]), Trajectory([]), eps=1.0) == 0.0
+        assert lcss_distance(LINE, Trajectory([]), eps=1.0) == 1.0
+
+    def test_monotone_in_eps(self, rng):
+        a = random_walk_trajectory(rng, 8)
+        b = random_walk_trajectory(rng, 8)
+        assert lcss_length(a, b, eps=0.5) <= lcss_length(a, b, eps=5.0)
+
+
+class TestERP:
+    def test_identity(self):
+        assert erp(LINE, LINE) == 0.0
+
+    def test_empty_is_gap_cost(self):
+        t = Trajectory.from_xy([(3, 4), (6, 8)])
+        assert erp(t, Trajectory([])) == pytest.approx(5.0 + 10.0)
+
+    def test_triangle_inequality(self, rng):
+        """ERP is a metric — spot-check the triangle inequality."""
+        for _ in range(25):
+            a = random_walk_trajectory(rng, int(rng.integers(2, 7)))
+            b = random_walk_trajectory(rng, int(rng.integers(2, 7)))
+            c = random_walk_trajectory(rng, int(rng.integers(2, 7)))
+            assert erp(a, c) <= erp(a, b) + erp(b, c) + 1e-9
+
+    def test_symmetry(self, rng):
+        a = random_walk_trajectory(rng, 5)
+        b = random_walk_trajectory(rng, 8)
+        assert erp(a, b) == pytest.approx(erp(b, a))
+
+    def test_custom_gap_point(self):
+        a = Trajectory.from_xy([(10, 10)])
+        assert erp(a, Trajectory([]), gap=(10, 10)) == 0.0
+
+
+class TestEDR:
+    def test_identity(self):
+        assert edr(LINE, LINE, eps=0.5) == 0
+
+    def test_length_difference_floor(self, rng):
+        a = random_walk_trajectory(rng, 4)
+        b = random_walk_trajectory(rng, 9)
+        assert edr(a, b, eps=1.0) >= 5
+
+    def test_paper_fig1c_threshold_flip(self):
+        """Fig. 1(c)/Sec. II-4: distance 3 at eps=2 but 0 at eps=3."""
+        t1 = Trajectory([(0, 0, 0), (0, 50, 50), (0, 100, 100)])
+        t2 = Trajectory([(0, 3, 0), (0, 53, 50), (0, 103, 100)])
+        assert edr(t1, t2, eps=2.0) == 3
+        assert edr(t1, t2, eps=3.0) == 0
+
+    def test_empty(self):
+        assert edr(Trajectory([]), LINE, eps=1.0) == 4
+        assert edr(Trajectory([]), Trajectory([]), eps=1.0) == 0
+
+    def test_normalized_range(self, rng):
+        a = random_walk_trajectory(rng, 6)
+        b = random_walk_trajectory(rng, 9)
+        assert 0.0 <= edr_normalized(a, b, eps=1.0) <= 1.0
+
+    def test_symmetry(self, rng):
+        a = random_walk_trajectory(rng, 6)
+        b = random_walk_trajectory(rng, 9)
+        assert edr(a, b, eps=1.0) == edr(b, a, eps=1.0)
+
+
+class TestDISSIM:
+    def test_identity(self):
+        assert dissim(LINE, LINE) == pytest.approx(0.0)
+
+    def test_parallel_constant_distance(self):
+        """Two synchronized parallel lines: integral = d x duration."""
+        a = Trajectory([(0, 0, 0), (10, 0, 10)])
+        b = Trajectory([(0, 3, 0), (10, 3, 10)])
+        assert dissim(a, b) == pytest.approx(30.0)
+
+    def test_empty_is_inf(self):
+        assert dissim(Trajectory([]), LINE) == math.inf
+
+    def test_speed_sensitivity(self):
+        """Same contour at different speeds looks dissimilar to DISSIM —
+        the Table-I weakness."""
+        fast_then_slow = Trajectory([(0, 0, 0), (8, 0, 2), (10, 0, 10)])
+        slow_then_fast = Trajectory([(0, 0, 0), (2, 0, 8), (10, 0, 10)])
+        assert dissim(fast_then_slow, slow_then_fast) > 10.0
+
+    def test_disjoint_windows(self):
+        a = Trajectory([(0, 0, 0), (1, 0, 1)])
+        b = Trajectory([(5, 0, 100), (6, 0, 101)])
+        assert dissim(a, b) >= 0.0
+
+
+class TestMA:
+    def test_identity(self):
+        assert ma(LINE, LINE) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert ma(Trajectory([]), Trajectory([])) == 0.0
+        assert ma(LINE, Trajectory([])) == pytest.approx(1.0)
+
+    def test_interpolated_matching_beats_point_matching(self):
+        """MA matches to non-sampled points: a phase-shifted copy of a line
+        costs almost nothing even though no samples coincide."""
+        a = Trajectory.from_xy([(0, 0), (2, 0), (4, 0), (6, 0)])
+        b = Trajectory.from_xy([(1, 0), (3, 0), (5, 0)])
+        assert ma(a, b) < 0.35
+
+    def test_fig1d_ordering_pathology(self):
+        """Fig. 1(d): MA cannot distinguish in-order from out-of-order
+        traversal of equidistant points, while EDwP can."""
+        from repro.eval.feature_matrix import fig1d_ordering_scenario
+        from repro.core import edwp
+
+        t1, t2, t3 = fig1d_ordering_scenario()
+        ratio_ma = ma(t1, t2) / max(ma(t3, t2), 1e-12)
+        ratio_edwp = edwp(t1, t2) / max(edwp(t3, t2), 1e-12)
+        assert ratio_ma == pytest.approx(1.0, abs=0.05)
+        assert ratio_edwp > 1.3
+
+    def test_params_threshold_dependence(self, rng):
+        """MA is threshold-dependent (Table I): results move with params."""
+        a = random_walk_trajectory(rng, 8)
+        b = random_walk_trajectory(rng, 8)
+        loose = ma(a, b, MAParams(gap_penalty=100.0, match_threshold=100.0))
+        tight = ma(a, b, MAParams(gap_penalty=0.01, match_threshold=0.01))
+        assert loose != pytest.approx(tight)
+
+
+class TestLpNorm:
+    def test_identity(self):
+        assert lp_norm(LINE, LINE) == 0.0
+
+    def test_parallel(self):
+        assert lp_norm(LINE, SHIFTED) == pytest.approx((4 * 25.0) ** 0.5)
+
+    def test_length_padding(self):
+        a = Trajectory.from_xy([(0, 0), (1, 0)])
+        b = Trajectory.from_xy([(0, 0), (1, 0), (1, 0)])
+        assert lp_norm(a, b) == 0.0
+
+    def test_inf_norm(self):
+        assert lp_norm(LINE, SHIFTED, p=math.inf) == 5.0
+
+    def test_empty(self):
+        assert lp_norm(Trajectory([]), Trajectory([])) == 0.0
+        assert lp_norm(LINE, Trajectory([])) == math.inf

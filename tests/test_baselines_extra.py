@@ -1,0 +1,165 @@
+"""Tests for the additional comparators: Fréchet, Hausdorff, DTW index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DTWIndex,
+    directed_hausdorff,
+    discrete_frechet,
+    dtw,
+    hausdorff,
+    lb_keogh,
+    lb_kim,
+)
+from repro.baselines.dtw_index import _envelope
+from repro.core import Trajectory
+
+from helpers import random_walk_trajectory
+
+
+LINE = Trajectory.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+SHIFTED = Trajectory.from_xy([(0, 5), (1, 5), (2, 5), (3, 5)])
+
+
+class TestDiscreteFrechet:
+    def test_identity(self):
+        assert discrete_frechet(LINE, LINE) == 0.0
+
+    def test_parallel_lines(self):
+        assert discrete_frechet(LINE, SHIFTED) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert discrete_frechet(Trajectory([]), Trajectory([])) == 0.0
+        assert discrete_frechet(LINE, Trajectory([])) == math.inf
+
+    def test_symmetry(self, rng):
+        a = random_walk_trajectory(rng, 6)
+        b = random_walk_trajectory(rng, 9)
+        assert discrete_frechet(a, b) == pytest.approx(discrete_frechet(b, a))
+
+    def test_bottleneck_dominated_by_outlier(self):
+        """One bad sample sets the whole distance (unlike EDwP)."""
+        a = Trajectory.from_xy([(0, 0), (1, 0), (2, 0)])
+        b = Trajectory.from_xy([(0, 0), (1, 50), (2, 0)])
+        assert discrete_frechet(a, b) == pytest.approx(50.0)
+
+    def test_lower_bounded_by_endpoint_distance(self, rng):
+        for _ in range(20):
+            a = random_walk_trajectory(rng, 5)
+            b = random_walk_trajectory(rng, 7)
+            endpoint = max(
+                math.hypot(a.data[0, 0] - b.data[0, 0],
+                           a.data[0, 1] - b.data[0, 1]),
+                math.hypot(a.data[-1, 0] - b.data[-1, 0],
+                           a.data[-1, 1] - b.data[-1, 1]),
+            )
+            assert discrete_frechet(a, b) >= endpoint - 1e-9
+
+    def test_at_least_hausdorff(self, rng):
+        """Fréchet (ordered) dominates Hausdorff over the sampled points."""
+        for _ in range(10):
+            a = random_walk_trajectory(rng, 6)
+            b = random_walk_trajectory(rng, 6)
+            assert discrete_frechet(a, b) >= hausdorff(a, b) - 1e-9
+
+
+class TestHausdorff:
+    def test_identity(self):
+        assert hausdorff(LINE, LINE) == 0.0
+
+    def test_parallel(self):
+        assert hausdorff(LINE, SHIFTED) == pytest.approx(5.0)
+
+    def test_uses_polyline_not_samples(self):
+        sparse = Trajectory.from_xy([(0, 0), (10, 0)])
+        dense = Trajectory.from_xy([(0, 0), (5, 0), (10, 0)])
+        assert hausdorff(sparse, dense) == pytest.approx(0.0)
+
+    def test_order_free(self):
+        """Hausdorff cannot see traversal order — the control property."""
+        fwd = Trajectory.from_xy([(0, 0), (5, 0), (10, 0)])
+        scrambled = Trajectory.from_xy([(10, 0), (0, 0), (5, 0)])
+        # same point set, same supporting line segmentation
+        assert hausdorff(fwd, scrambled) == pytest.approx(0.0)
+
+    def test_directed_asymmetry(self):
+        short = Trajectory.from_xy([(0, 0), (1, 0)])
+        long = Trajectory.from_xy([(0, 0), (1, 0), (50, 0)])
+        assert directed_hausdorff(short, long) == pytest.approx(0.0)
+        assert directed_hausdorff(long, short) == pytest.approx(49.0)
+
+    def test_empty(self):
+        assert hausdorff(Trajectory([]), Trajectory([])) == 0.0
+        assert hausdorff(LINE, Trajectory([])) == math.inf
+
+
+class TestDTWIndexBounds:
+    def test_envelope_contains_data(self, rng):
+        t = random_walk_trajectory(rng, 10)
+        lower, upper = _envelope(t.spatial(), 2)
+        assert np.all(lower <= t.spatial() + 1e-12)
+        assert np.all(upper >= t.spatial() - 1e-12)
+
+    def test_lb_kim_lower_bounds_dtw(self, rng):
+        for _ in range(30):
+            a = random_walk_trajectory(rng, int(rng.integers(2, 8)))
+            b = random_walk_trajectory(rng, int(rng.integers(2, 8)))
+            assert lb_kim(a, b) <= dtw(a, b) + 1e-9
+
+    def test_lb_keogh_lower_bounds_banded_dtw(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(4, 10))
+            a = random_walk_trajectory(rng, n)
+            b = random_walk_trajectory(rng, n)
+            radius = 3
+            lower, upper = _envelope(b.spatial(), radius)
+            assert lb_keogh(a, lower, upper) <= dtw(a, b, window=radius) + 1e-9
+
+
+class TestDTWIndex:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = np.random.default_rng(77)
+        return [
+            random_walk_trajectory(rng, int(rng.integers(5, 12)))
+            for _ in range(40)
+        ]
+
+    def test_matches_scan(self, db):
+        index = DTWIndex(db, band=0.15)
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            q = random_walk_trajectory(rng, int(rng.integers(5, 12)))
+            got = index.knn(q, 5)
+            want = index.knn_scan(q, 5)
+            assert [t for t, _ in got] == [t for t, _ in want]
+
+    def test_bounds_valid_against_banded_dtw(self, db):
+        index = DTWIndex(db, band=0.15)
+        rng = np.random.default_rng(6)
+        q = random_walk_trajectory(rng, 8)
+        for tid, target in index._db.items():
+            lb = index.lower_bound(q, tid)
+            d = dtw(q, target, window=index._window(len(q), len(target)))
+            assert lb <= d + 1e-9
+
+    def test_prunes(self, db):
+        index = DTWIndex(db, band=0.15)
+        rng = np.random.default_rng(7)
+        q = random_walk_trajectory(rng, 8, origin=np.array([500.0, 0.0]))
+        stats = {}
+        index.knn(q, 3, stats=stats)
+        assert stats["pruned"] > 0
+
+    def test_validation(self, db):
+        with pytest.raises(ValueError):
+            DTWIndex([])
+        with pytest.raises(ValueError):
+            DTWIndex(db, band=2.0)
+        index = DTWIndex(db)
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            index.knn(random_walk_trajectory(rng, 5), 0)

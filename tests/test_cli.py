@@ -1,0 +1,43 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "EDwP" in out
+        assert "paper: 80" in out
+
+    def test_fig5a_tiny(self, capsys):
+        code = main(["fig5a", "--classes", "2", "3", "--instances", "3",
+                     "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5(a)" in out
+        assert "EDwP" in out
+
+    def test_fig5b_tiny(self, capsys):
+        code = main(["fig5b", "--db-size", "10", "--queries", "1",
+                     "--no-edr-i"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inter robustness" in out
+
+    def test_fig6c_tiny(self, capsys):
+        code = main(["fig6c", "--vps", "5", "--db-size", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UB-factor" in out
+        assert "Beijing Random" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,133 @@
+"""Tests for the synthetic workload generators (DESIGN.md substitutions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, edwp_avg
+from repro.datasets import (
+    ASLConfig,
+    BeijingConfig,
+    generate_asl,
+    generate_beijing,
+    generate_cab_streams,
+    sign_names,
+)
+
+
+class TestBeijing:
+    def test_count_and_ids(self):
+        db = generate_beijing(15, seed=1)
+        assert len(db) == 15
+        assert [t.traj_id for t in db] == list(range(15))
+
+    def test_deterministic(self):
+        a = generate_beijing(10, seed=3)
+        b = generate_beijing(10, seed=3)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.data, tb.data)
+
+    def test_seed_changes_data(self):
+        a = generate_beijing(5, seed=1)
+        b = generate_beijing(5, seed=2)
+        assert not np.array_equal(a[0].data, b[0].data)
+
+    def test_timestamps_increase(self):
+        for t in generate_beijing(10, seed=4):
+            assert np.all(np.diff(t.times()) > 0)
+
+    def test_within_extent(self):
+        cfg = BeijingConfig()
+        margin = 5 * cfg.jitter
+        for t in generate_beijing(10, seed=5, config=cfg):
+            xs, ys = t.data[:, 0], t.data[:, 1]
+            assert xs.min() > -margin and xs.max() < cfg.extent + margin
+            assert ys.min() > -margin and ys.max() < cfg.extent + margin
+
+    def test_sampling_rates_vary_across_trips(self):
+        """The paper's motivating nuisance: heterogeneous device rates."""
+        db = generate_beijing(20, seed=6)
+        rates = [float(np.diff(t.times()).mean()) for t in db if len(t) > 2]
+        assert max(rates) / min(rates) > 2.0
+
+    def test_route_families_create_near_neighbours(self):
+        db = generate_beijing(24, seed=7)
+        # under route families, some pair must be much closer than the
+        # typical pair
+        import itertools
+        dists = [edwp_avg(a, b) for a, b in itertools.combinations(db[:12], 2)]
+        assert min(dists) < 0.2 * np.median(dists)
+
+    def test_independent_mode(self):
+        cfg = BeijingConfig(route_families=10 ** 9)
+        db = generate_beijing(8, seed=8, config=cfg)
+        assert len(db) == 8
+
+
+class TestCabStreams:
+    def test_streams_have_dwells_or_gaps(self):
+        streams = generate_cab_streams(2, trips_per_cab=3, seed=1)
+        assert len(streams) == 2
+        # raw streams span hours and contain many points
+        for s in streams:
+            assert s.duration > 1800.0
+            assert len(s) > 20
+
+    def test_splitting_yields_multiple_trips(self):
+        from repro.datasets import split_trips
+
+        streams = generate_cab_streams(3, trips_per_cab=4, seed=2)
+        trips = split_trips(streams)
+        assert len(trips) > len(streams)
+        for t in trips:
+            assert len(t) >= 2
+
+
+class TestASL:
+    def test_labels_and_counts(self):
+        ds = generate_asl(num_classes=4, instances_per_class=5, seed=1)
+        assert len(ds) == 20
+        labels = {t.label for t in ds}
+        assert labels == set(sign_names(4))
+        for name in sign_names(4):
+            assert sum(1 for t in ds if t.label == name) == 5
+
+    def test_sign_names_stable(self):
+        assert sign_names(3) == ["sign_000", "sign_001", "sign_002"]
+
+    def test_class_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_asl(num_classes=0)
+        with pytest.raises(ValueError):
+            generate_asl(num_classes=99)
+
+    def test_deterministic(self):
+        a = generate_asl(num_classes=3, instances_per_class=2, seed=9)
+        b = generate_asl(num_classes=3, instances_per_class=2, seed=9)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.data, tb.data)
+
+    def test_variable_sampling_rates(self):
+        """Instances of one sign get different sample counts — the paper's
+        sampling nuisance, baked into the clean workload."""
+        cfg = ASLConfig()
+        ds = generate_asl(num_classes=2, instances_per_class=10, seed=2,
+                          config=cfg)
+        counts = {len(t) for t in ds}
+        assert len(counts) > 3
+        assert min(counts) >= cfg.min_points
+        assert max(counts) <= cfg.max_points
+
+    def test_intra_class_tighter_than_inter(self):
+        """1-NN learnability: same-class instances are closer on average."""
+        ds = generate_asl(num_classes=6, instances_per_class=4, seed=3)
+        by_label = {}
+        for t in ds:
+            by_label.setdefault(t.label, []).append(t)
+        intra, inter = [], []
+        labels = list(by_label)
+        for lab in labels[:3]:
+            group = by_label[lab]
+            intra.append(edwp_avg(group[0], group[1]))
+            other = by_label[labels[(labels.index(lab) + 1) % len(labels)]]
+            inter.append(edwp_avg(group[0], other[0]))
+        assert np.mean(intra) < np.mean(inter)

@@ -1,0 +1,91 @@
+"""EDR filter-and-refine index: bound validity and retrieval exactness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EDRIndex
+from repro.baselines.edr import edr
+from repro.core import Trajectory
+
+from helpers import random_walk_trajectory
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(21)
+    return [
+        random_walk_trajectory(rng, int(rng.integers(4, 12)))
+        for _ in range(50)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index(database):
+    return EDRIndex(database, eps=2.0, num_references=6, seed=0)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EDRIndex([], eps=1.0)
+
+    def test_rejects_bad_eps(self, database):
+        with pytest.raises(ValueError):
+            EDRIndex(database, eps=0.0)
+
+    def test_len(self, index, database):
+        assert len(index) == len(database)
+
+
+class TestLowerBounds:
+    def test_bounds_are_valid(self, index, database):
+        """Every pruning bound must underestimate the true EDR."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            q = random_walk_trajectory(rng, int(rng.integers(4, 12)))
+            from repro.baselines.edr_index import _histogram
+
+            qh = _histogram(q, index.eps)
+            qrefs = [edr(q, index._db[r], index.eps) for r in index._ref_ids]
+            for tid, t in index._db.items():
+                lb = index.lower_bound(q, tid, qh, qrefs)
+                assert lb <= edr(q, t, index.eps) + 1e-9
+
+    def test_bound_nonnegative(self, index, database):
+        rng = np.random.default_rng(4)
+        q = random_walk_trajectory(rng, 8)
+        for tid in index._db:
+            assert index.lower_bound(q, tid) >= 0.0
+
+
+class TestRetrieval:
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_matches_scan(self, index, k):
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            q = random_walk_trajectory(rng, int(rng.integers(4, 12)))
+            got = index.knn(q, k)
+            want = index.knn_scan(q, k)
+            assert [t for t, _ in got] == [t for t, _ in want]
+
+    def test_prunes_something(self, index):
+        """On separated data the bounds must actually skip candidates."""
+        rng = np.random.default_rng(6)
+        q = random_walk_trajectory(rng, 8,
+                                   origin=np.array([500.0, 500.0]))
+        stats = {}
+        index.knn(q, 3, stats=stats)
+        assert stats["pruned"] > 0
+
+    def test_invalid_k(self, index):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            index.knn(random_walk_trajectory(rng, 6), 0)
+
+    def test_no_references_mode(self, database):
+        idx = EDRIndex(database, eps=2.0, num_references=0)
+        rng = np.random.default_rng(8)
+        q = random_walk_trajectory(rng, 8)
+        assert [t for t, _ in idx.knn(q, 5)] == [
+            t for t, _ in idx.knn_scan(q, 5)
+        ]

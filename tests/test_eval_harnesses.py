@@ -1,0 +1,144 @@
+"""Tests for the evaluation harnesses (classification, robustness, UB)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, edwp_avg
+from repro.datasets import generate_asl, generate_beijing
+from repro.eval.classification import (
+    classification_experiment,
+    cross_validated_accuracy,
+    nn_classify,
+)
+from repro.eval.knn import distance_table, knn_from_table, knn_scan
+from repro.eval.robustness import (
+    NOISE_PROTOCOLS,
+    make_noisy_dataset,
+    robustness_experiment,
+)
+from repro.eval.ubfactor import random_ub_factor, vp_experiment
+
+from helpers import random_walk_trajectory
+
+
+class TestKnnHelpers:
+    def test_distance_table_keys(self, rng):
+        db = [random_walk_trajectory(rng, 5) for _ in range(4)]
+        db[0].traj_id = 10
+        db[1].traj_id = 11
+        db[2].traj_id = 12
+        db[3].traj_id = 13
+        q = random_walk_trajectory(rng, 5)
+        table = distance_table(q, db, edwp_avg)
+        assert set(table) == {10, 11, 12, 13}
+
+    def test_knn_from_table_order(self):
+        table = {1: 3.0, 2: 1.0, 3: 2.0}
+        assert [t for t, _ in knn_from_table(table, 2)] == [2, 3]
+
+    def test_knn_scan(self, rng):
+        db = [random_walk_trajectory(rng, 5) for _ in range(6)]
+        result = knn_scan(db[2], db, edwp_avg, 1)
+        assert result[0][0] == 2
+
+
+class TestClassification:
+    def test_nn_classify_picks_nearest_label(self, rng):
+        a = random_walk_trajectory(rng, 5)
+        a.label = "A"
+        b = a.translated(500, 500)
+        b.label = "B"
+        q = a.translated(0.1, 0.1)
+        assert nn_classify(q, [a, b], edwp_avg) == "A"
+
+    def test_nn_classify_no_references(self, rng):
+        assert nn_classify(random_walk_trajectory(rng, 5), [], edwp_avg) is None
+
+    def test_cv_accuracy_separable(self, rng):
+        """Well-separated classes classify perfectly."""
+        ds = []
+        for c in range(3):
+            base = random_walk_trajectory(rng, 6,
+                                          origin=np.array([c * 1000.0, 0.0]))
+            for _ in range(4):
+                t = base.translated(float(rng.normal(0, 1)),
+                                    float(rng.normal(0, 1)))
+                t.label = f"c{c}"
+                ds.append(t)
+        assert cross_validated_accuracy(ds, edwp_avg, folds=4) == 1.0
+
+    def test_cv_accuracy_requires_data(self):
+        with pytest.raises(ValueError):
+            cross_validated_accuracy([Trajectory([(0, 0, 0)])], edwp_avg)
+
+    def test_experiment_shape(self):
+        ds = generate_asl(num_classes=4, instances_per_class=3, seed=1)
+        res = classification_experiment(
+            ds, {"EDwP": edwp_avg}, class_counts=[2, 4], repeats=1, folds=3
+        )
+        assert res.class_counts == [2, 4]
+        assert len(res.accuracy["EDwP"]) == 2
+        for acc in res.accuracy["EDwP"]:
+            assert 0.0 <= acc <= 1.0
+
+    def test_experiment_too_many_classes(self):
+        ds = generate_asl(num_classes=3, instances_per_class=2, seed=1)
+        with pytest.raises(ValueError):
+            classification_experiment(ds, {"EDwP": edwp_avg},
+                                      class_counts=[5], repeats=1)
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("protocol", NOISE_PROTOCOLS)
+    def test_make_noisy_dataset_shapes(self, protocol):
+        clean = generate_beijing(8, seed=1)
+        d1, d2 = make_noisy_dataset(clean, protocol, 0.5, seed=0)
+        assert len(d1) == len(d2) == len(clean)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            make_noisy_dataset(generate_beijing(4, seed=1), "bogus", 0.5)
+
+    def test_densify_protocols_leave_d1_clean(self):
+        clean = generate_beijing(5, seed=2)
+        d1, _ = make_noisy_dataset(clean, "inter", 0.5, seed=0)
+        for a, b in zip(clean, d1):
+            assert np.array_equal(a.data, b.data)
+
+    def test_phase_protocol_alters_both(self):
+        clean = generate_beijing(5, seed=2)
+        d1, d2 = make_noisy_dataset(clean, "phase", 1.0, seed=0)
+        assert len(d1[0]) == len(d2[0])
+        assert not np.array_equal(d1[0].data, d2[0].data)
+
+    def test_edwp_correlation_near_one_under_densify(self):
+        """EDwP's robustness claim on the real harness."""
+        clean = generate_beijing(20, seed=3)
+        res = robustness_experiment(
+            clean, {"EDwP": edwp_avg}, "inter", k=5, noise_fraction=1.0,
+            num_queries=2, seed=0,
+        )
+        assert res.correlations["EDwP"] > 0.9
+
+
+class TestUBFactor:
+    def test_vp_experiment_sane(self):
+        db = generate_beijing(25, seed=4)
+        queries = generate_beijing(2, seed=99)
+        stats = vp_experiment(db, queries, num_vps=10, k=5)
+        assert stats["vp_ub_factor"] >= 1.0 - 1e-9
+        assert stats["random_ub_factor"] >= 1.0 - 1e-9
+        assert -1.0 <= stats["vp_knn_correlation"] <= 1.0
+
+    def test_vp_beats_random(self):
+        """Fig. 6(c)'s claim: VP-based upper bounds are tighter than random
+        selections (averaged over queries)."""
+        db = generate_beijing(40, seed=5)
+        queries = generate_beijing(4, seed=77)
+        stats = vp_experiment(db, queries, num_vps=40, k=5)
+        assert stats["vp_ub_factor"] <= stats["random_ub_factor"]
+
+    def test_random_ub_factor_at_least_one(self):
+        db = generate_beijing(15, seed=6)
+        q = generate_beijing(1, seed=88)[0]
+        assert random_ub_factor(q, db, k=3) >= 1.0 - 1e-9

@@ -1,0 +1,118 @@
+"""Smoke tests for the experiment drivers (tiny scales, deterministic)."""
+
+import pytest
+
+from repro.experiments import (
+    beijing_database,
+    robustness_sweep,
+    run_fig5a,
+    run_fig5j,
+    run_fig6c,
+    run_fig6d,
+    run_scaling,
+    run_table1,
+    run_theta_sweep,
+    scenario_anchors,
+    suggest_eps,
+)
+
+
+class TestAnchors:
+    def test_all_paper_numbers(self):
+        anchors = scenario_anchors()
+        assert anchors["appendixA_edwp_t1_t2"] == pytest.approx(1.0)
+        assert anchors["appendixA_edwp_t2_t3"] == pytest.approx(1.0)
+        assert anchors["appendixA_edwp_t1_t3"] == pytest.approx(4.0)
+        assert anchors["example4_edwpsub_t2_t1"] == pytest.approx(80.0)
+        assert anchors["fig1c_edr_eps2"] == 3.0
+        assert anchors["fig1c_edr_eps3"] == 0.0
+
+
+class TestTable1:
+    def test_run(self):
+        result = run_table1()
+        assert result.probes["EDwP"]["inter"].handled
+        assert "EDwP" in result.rendered
+        assert result.anchors["fig1d_ma_ratio"] == pytest.approx(1.0, abs=0.1)
+        assert result.anchors["fig1d_edwp_ratio"] > 1.2
+        assert result.threshold_free["EDwP"] is True
+        assert result.threshold_free["EDR"] is False
+
+
+class TestCommon:
+    def test_suggest_eps_positive(self):
+        db = beijing_database(5, seed=1)
+        assert suggest_eps(db) > 0
+
+    def test_beijing_database_deterministic(self):
+        a = beijing_database(5, seed=2)
+        b = beijing_database(5, seed=2)
+        assert a[0].data.tolist() == b[0].data.tolist()
+
+
+class TestFig5a:
+    def test_tiny_run(self):
+        result = run_fig5a(class_counts=(2, 3), instances_per_class=3,
+                           repeats=1, folds=2, seed=1)
+        assert result.class_counts == [2, 3]
+        for series in result.accuracy.values():
+            assert len(series) == 2
+            assert all(0.0 <= a <= 1.0 for a in series)
+
+
+class TestRobustnessSweep:
+    def test_tiny_sweep_vs_n(self):
+        result = robustness_sweep(
+            "inter", "n", db_size=10, noise_values=(0.5,), fixed_k=3,
+            num_queries=2, include_edr_i=False, seed=1,
+        )
+        assert result.x_values == [50.0]
+        assert "EDwP" in result.series
+        for series in result.series.values():
+            assert all(-1.0 <= v <= 1.0 for v in series)
+
+    def test_tiny_sweep_vs_k(self):
+        result = robustness_sweep(
+            "phase", "k", db_size=10, k_values=(3,), fixed_noise=0.5,
+            num_queries=2, include_edr_i=False, seed=1,
+        )
+        assert result.x_name == "k"
+        assert len(result.series["EDwP"]) == 1
+
+    def test_bad_vary_raises(self):
+        with pytest.raises(ValueError):
+            robustness_sweep("inter", "bogus", db_size=10)
+
+
+class TestIndexExperiments:
+    def test_fig5j_tiny(self):
+        result = run_fig5j(db_size=25, k_values=(2,), num_queries=1,
+                           seed=1, include_ma=False)
+        assert set(result.series) == {"TrajTree", "EDwP-scan", "EDR"}
+        for series in result.series.values():
+            assert all(s >= 0 for s in series)
+
+    def test_scaling_tiny(self):
+        result = run_scaling(db_sizes=(15, 25), k=2, num_queries=1,
+                             seed=1, include_ma=False)
+        assert len(result.series["TrajTree"]) == 2
+        assert len(result.build_seconds["TrajTree"]) == 2
+
+    def test_theta_tiny(self):
+        result = run_theta_sweep(thetas=(0.5,), db_size=15, k=2,
+                                 num_queries=1, seed=1)
+        assert len(result.series["TrajTree-query"]) == 1
+        assert len(result.build_seconds["TrajTree"]) == 1
+
+
+class TestUBExperiments:
+    def test_fig6c_tiny(self):
+        result = run_fig6c(vp_counts=(5,), db_size=15, k=3, num_queries=2,
+                           seed=1)
+        assert result.series["Beijing"][0] >= 1.0 - 1e-9
+        assert result.series["Beijing Random"][0] >= 1.0 - 1e-9
+
+    def test_fig6d_tiny(self):
+        result = run_fig6d(k_values=(3,), db_size=15, num_vps=8,
+                           num_queries=2, seed=1)
+        assert len(result.series["Beijing"]) == 1

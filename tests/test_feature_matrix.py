@@ -1,0 +1,77 @@
+"""Tests for the Table-I probe machinery and Fig. 1 scenarios."""
+
+import pytest
+
+from repro.baselines import get_distance
+from repro.core import edwp
+from repro.eval.feature_matrix import (
+    PAPER_TABLE_I,
+    feature_matrix,
+    fig1d_ordering_scenario,
+    format_feature_table,
+    probe_inter_sampling,
+    probe_intra_sampling,
+    probe_phase,
+    probe_time_shift,
+)
+
+
+EDWP = get_distance("edwp").fn
+EDR = get_distance("edr", eps=3.0).fn
+DISSIM = get_distance("dissim").fn
+
+
+class TestProbes:
+    def test_edwp_handles_everything(self):
+        """The paper's headline row of Table I."""
+        for probe in (probe_time_shift, probe_inter_sampling,
+                      probe_intra_sampling, probe_phase):
+            assert probe(EDWP).handled, probe.__name__
+
+    def test_edr_fails_sampling_probes(self):
+        """Table I: EDR is not robust to sampling-rate variation."""
+        assert not probe_inter_sampling(EDR).handled
+        assert not probe_intra_sampling(EDR).handled
+
+    def test_dissim_fails_time_shift(self):
+        """Table I: DISSIM cannot absorb local time shifts."""
+        assert not probe_time_shift(DISSIM).handled
+
+    def test_dissim_handles_inter_sampling(self):
+        """Table I: DISSIM compares continuous motion, so resampling the
+        same motion is free."""
+        assert probe_inter_sampling(DISSIM).handled
+
+    def test_probe_ratio_properties(self):
+        p = probe_inter_sampling(EDWP)
+        assert p.nuisance_distance >= 0
+        assert p.reference_distance > 0
+        assert p.ratio == p.nuisance_distance / p.reference_distance
+
+
+class TestFig1d:
+    def test_scenario_structure(self):
+        t1, t2, t3 = fig1d_ordering_scenario()
+        # all of T1/T3's points are at distance 1 from T2's line
+        for t in (t1, t3):
+            assert all(abs(row[1] - 1.0) < 1e-9 for row in t.data)
+
+    def test_edwp_separates_orderings(self):
+        t1, t2, t3 = fig1d_ordering_scenario()
+        assert edwp(t3, t2) < edwp(t1, t2)
+
+
+class TestMatrixRendering:
+    def test_matrix_and_table(self):
+        metrics = {"EDwP": EDWP, "EDR": EDR}
+        results = feature_matrix(metrics)
+        assert set(results) == {"EDwP", "EDR"}
+        table = format_feature_table(results, {"EDwP": True, "EDR": False})
+        assert "EDwP" in table
+        assert "time_shift" in table
+
+    def test_paper_table_shape(self):
+        assert set(PAPER_TABLE_I) == {
+            "DTW", "LCSS", "ERP", "EDR", "DISSIM", "MA", "EDwP"
+        }
+        assert PAPER_TABLE_I["EDwP"] == (True, True, True, True, True)

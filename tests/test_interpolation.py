@@ -1,0 +1,107 @@
+"""Uniform-density interpolation tests (the EDR-I preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.datasets.interpolation import (
+    corpus_target_spacing,
+    densify_to_spacing,
+    interpolate_dataset,
+    min_sampling_interval,
+    resample_time_uniform,
+)
+
+from helpers import random_walk_trajectory
+
+
+class TestDensifyToSpacing:
+    def test_gaps_bounded(self, rng):
+        t = random_walk_trajectory(rng, 6, scale=100.0)
+        dense = densify_to_spacing(t, 3.0)
+        assert dense.segment_lengths().max() <= 3.0 + 1e-9
+
+    def test_original_points_kept(self, rng):
+        t = random_walk_trajectory(rng, 6, scale=100.0)
+        dense = densify_to_spacing(t, 3.0)
+        dense_set = {tuple(row) for row in dense.data}
+        for row in t.data:
+            assert tuple(row) in dense_set
+
+    def test_shape_preserved(self, rng):
+        t = random_walk_trajectory(rng, 6, scale=100.0)
+        dense = densify_to_spacing(t, 3.0)
+        assert dense.length == pytest.approx(t.length)
+
+    def test_breakpoint_dependence(self):
+        """The key EDR-I property: two samplings of the same path
+        interpolate to *different* point sets."""
+        sparse = Trajectory.from_xy([(0, 0), (10, 0)])
+        shifted = Trajectory.from_xy([(0, 0), (3, 0), (10, 0)])
+        a = densify_to_spacing(sparse, 4.0)
+        b = densify_to_spacing(shifted, 4.0)
+        assert {tuple(r[:2]) for r in a.data} != {tuple(r[:2]) for r in b.data}
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            densify_to_spacing(Trajectory.from_xy([(0, 0), (1, 0)]), 0.0)
+
+    def test_short_trajectory_passthrough(self):
+        t = Trajectory([(1, 1, 0)])
+        assert densify_to_spacing(t, 1.0) is t
+
+
+class TestCorpusTargetSpacing:
+    def test_percentile(self, rng):
+        trajs = [random_walk_trajectory(rng, 8) for _ in range(10)]
+        spacing = corpus_target_spacing(trajs)
+        all_lengths = np.concatenate([t.segment_lengths() for t in trajs])
+        assert spacing <= np.median(all_lengths)
+        assert spacing > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            corpus_target_spacing([Trajectory([(0, 0, 0), (0, 0, 1)])])
+
+
+class TestInterpolateDataset:
+    def test_uniform_density(self, rng):
+        trajs = [random_walk_trajectory(rng, int(rng.integers(4, 10)),
+                                        scale=100.0) for _ in range(6)]
+        out = interpolate_dataset(trajs)
+        spacing = corpus_target_spacing(trajs)
+        for t in out:
+            if len(t) > 1:
+                # budget cap may loosen the spacing; gaps are still uniform
+                gaps = t.segment_lengths()
+                assert gaps.max() <= max(spacing, t.length / 500) + 1e-6
+
+    def test_max_points_cap(self, rng):
+        trajs = [random_walk_trajectory(rng, 5, scale=1000.0)]
+        out = interpolate_dataset(trajs, spacing=0.01, max_points=50)
+        assert len(out[0]) <= 60
+
+
+class TestTimeUniform:
+    def test_resample_dt(self):
+        t = Trajectory([(0, 0, 0), (10, 0, 10)])
+        r = resample_time_uniform(t, 2.5)
+        assert list(r.times()) == [0.0, 2.5, 5.0, 7.5, 10.0]
+
+    def test_endpoint_kept(self):
+        t = Trajectory([(0, 0, 0), (10, 0, 9)])
+        r = resample_time_uniform(t, 2.0)
+        assert r.times()[-1] == 9.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            resample_time_uniform(Trajectory([(0, 0, 0), (1, 0, 1)]), 0.0)
+
+    def test_min_sampling_interval(self):
+        a = Trajectory([(0, 0, 0), (1, 0, 5), (2, 0, 7)])
+        b = Trajectory([(0, 0, 0), (1, 0, 3)])
+        assert min_sampling_interval([a, b]) == 2.0
+
+    def test_min_sampling_interval_empty_raises(self):
+        with pytest.raises(ValueError):
+            min_sampling_interval([Trajectory([(0, 0, 0)])])

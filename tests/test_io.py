@@ -1,0 +1,72 @@
+"""CSV/JSON persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.datasets import load_csv, load_json, save_csv, save_json
+
+from helpers import random_walk_trajectory
+
+
+@pytest.fixture
+def corpus(rng):
+    out = []
+    for i in range(5):
+        t = random_walk_trajectory(rng, int(rng.integers(2, 8)))
+        t.traj_id = i
+        t.label = f"class_{i % 2}"
+        out.append(t)
+    return out
+
+
+class TestCSV:
+    def test_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.csv"
+        save_csv(corpus, path)
+        loaded = load_csv(path)
+        assert len(loaded) == len(corpus)
+        for a, b in zip(corpus, loaded):
+            assert np.allclose(a.data, b.data)
+            assert a.traj_id == b.traj_id
+            assert a.label == b.label
+
+    def test_exact_float_roundtrip(self, tmp_path):
+        """repr-based serialization must preserve floats bit-exactly."""
+        t = Trajectory([(0.1 + 0.2, 1e-17, 1234567.891011)])
+        path = tmp_path / "one.csv"
+        save_csv([t], path)
+        loaded = load_csv(path)
+        assert np.array_equal(loaded[0].data, t.data)
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_csv(path)
+
+    def test_empty_label_becomes_none(self, tmp_path, rng):
+        t = random_walk_trajectory(rng, 3)
+        t.traj_id = 0
+        path = tmp_path / "nolabel.csv"
+        save_csv([t], path)
+        assert load_csv(path)[0].label is None
+
+
+class TestJSON:
+    def test_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_json(corpus, path)
+        loaded = load_json(path)
+        assert len(loaded) == len(corpus)
+        for a, b in zip(corpus, loaded):
+            assert np.allclose(a.data, b.data)
+            assert a.traj_id == b.traj_id
+            assert a.label == b.label
+
+    def test_positional_ids_assigned(self, tmp_path, rng):
+        trajs = [random_walk_trajectory(rng, 3) for _ in range(3)]
+        path = tmp_path / "noids.json"
+        save_json(trajs, path)
+        loaded = load_json(path)
+        assert [t.traj_id for t in loaded] == [0, 1, 2]

@@ -1,0 +1,115 @@
+"""Noise protocol tests (Sec. V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, edwp
+from repro.datasets.noise import (
+    average_speed,
+    densify,
+    densify_first_half,
+    perturb,
+    phase_pair,
+    thirty_second_radius,
+)
+
+from helpers import random_walk_trajectory
+
+
+@pytest.fixture
+def base(rng):
+    return random_walk_trajectory(rng, 10, scale=100.0)
+
+
+class TestDensify:
+    def test_shape_preserved(self, base, rng):
+        noisy = densify(base, 0.5, rng)
+        assert noisy.length == pytest.approx(base.length)
+        assert len(noisy) > len(base)
+
+    def test_fraction_controls_count(self, base, rng):
+        small = densify(base, 0.1, np.random.default_rng(0))
+        big = densify(base, 1.0, np.random.default_rng(0))
+        assert len(big) - len(base) >= len(small) - len(base)
+        assert len(big) == len(base) + base.num_segments
+
+    def test_zero_fraction_is_identity(self, base, rng):
+        assert densify(base, 0.0, rng) is base
+
+    def test_edwp_invariant_under_densify(self, base, rng):
+        """EDwP's core robustness claim on the actual noise protocol."""
+        noisy = densify(base, 1.0, rng)
+        assert edwp(base, noisy) <= 1e-6 * max(1.0, base.length)
+
+    def test_timestamps_stay_sorted(self, base, rng):
+        noisy = densify(base, 1.0, rng)
+        assert np.all(np.diff(noisy.times()) >= 0)
+
+
+class TestDensifyFirstHalf:
+    def test_only_first_half_touched(self, base, rng):
+        noisy = densify_first_half(base, 1.0, rng)
+        half_end_xy = base.data[base.num_segments // 2]
+        # the second half point set is unchanged
+        tail_base = base.data[base.num_segments // 2 + 1:]
+        tail_noisy = noisy.data[-tail_base.shape[0]:]
+        assert np.allclose(tail_base, tail_noisy)
+
+    def test_shape_preserved(self, base, rng):
+        noisy = densify_first_half(base, 1.0, rng)
+        assert noisy.length == pytest.approx(base.length)
+
+
+class TestPhasePair:
+    def test_same_size_different_points(self, base, rng):
+        d1, d2 = phase_pair(base, 0.6, rng)
+        assert len(d1) == len(d2)
+        assert not np.array_equal(d1.data, d2.data)
+
+    def test_same_shape(self, base, rng):
+        d1, d2 = phase_pair(base, 0.6, rng)
+        assert d1.length == pytest.approx(base.length)
+        assert d2.length == pytest.approx(base.length)
+
+    def test_zero_fraction(self, base, rng):
+        d1, d2 = phase_pair(base, 0.0, rng)
+        assert d1 is base and d2 is base
+
+    def test_edwp_tolerates_phase(self, base, rng):
+        d1, d2 = phase_pair(base, 1.0, rng)
+        assert edwp(d1, d2) <= 1e-6 * max(1.0, base.length)
+
+
+class TestPerturb:
+    def test_points_move_within_radius(self, base, rng):
+        radius = 5.0
+        noisy = perturb(base, 1.0, radius, rng)
+        deltas = np.hypot(*(noisy.data[:, :2] - base.data[:, :2]).T)
+        assert deltas.max() <= radius + 1e-9
+        assert deltas.max() > 0.0
+
+    def test_fraction_limits_moved_points(self, base, rng):
+        noisy = perturb(base, 0.3, 5.0, rng)
+        moved = (np.abs(noisy.data[:, :2] - base.data[:, :2]).sum(axis=1) > 0)
+        assert moved.sum() == max(1, round(0.3 * len(base)))
+
+    def test_zero_radius_is_identity(self, base, rng):
+        assert perturb(base, 0.5, 0.0, rng) is base
+
+    def test_timestamps_unchanged(self, base, rng):
+        noisy = perturb(base, 1.0, 5.0, rng)
+        assert np.array_equal(noisy.times(), base.times())
+
+
+class TestSpeedHelpers:
+    def test_average_speed(self):
+        t = Trajectory([(0, 0, 0), (100, 0, 10)])
+        assert average_speed([t]) == pytest.approx(10.0)
+
+    def test_thirty_second_radius(self):
+        t = Trajectory([(0, 0, 0), (100, 0, 10)])
+        assert thirty_second_radius([t]) == pytest.approx(300.0)
+
+    def test_zero_duration(self):
+        t = Trajectory([(0, 0, 0), (1, 0, 0)])
+        assert average_speed([t]) == 0.0

@@ -1,0 +1,107 @@
+"""Algorithm 1 (pivot partitioning) unit tests."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.index.partition import partition, select_pivots
+
+from helpers import random_walk_trajectory
+
+
+def clustered_trajectories(rng, clusters=3, per_cluster=8):
+    """Trajectories in well-separated spatial clusters."""
+    out = []
+    for c in range(clusters):
+        origin = np.array([c * 200.0, 0.0])
+        for _ in range(per_cluster):
+            out.append(random_walk_trajectory(rng, 6, scale=10.0,
+                                              origin=origin + rng.uniform(0, 5, 2)))
+    return out
+
+
+class TestSelectPivots:
+    def test_empty(self):
+        assert select_pivots([], 0.8, random.Random(0)) == []
+
+    def test_single(self):
+        t = Trajectory.from_xy([(0, 0), (1, 1)])
+        assert select_pivots([t], 0.8, random.Random(0)) == [0]
+
+    def test_pivots_cover_clusters(self, rng):
+        """With clearly clustered data, the pivots land in distinct
+        clusters before the diversity drop stops growth."""
+        trajs = clustered_trajectories(rng, clusters=3, per_cluster=5)
+        pivots = select_pivots(trajs, theta=0.8, rng=random.Random(1))
+        clusters_hit = {p // 5 for p in pivots}
+        assert len(clusters_hit) == 3
+
+    def test_max_pivots_cap(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(30)]
+        pivots = select_pivots(trajs, theta=0.99, rng=random.Random(0),
+                               max_pivots=4)
+        assert len(pivots) <= 4
+
+    def test_pivots_unique(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(15)]
+        pivots = select_pivots(trajs, theta=0.8, rng=random.Random(0),
+                               max_pivots=8)
+        assert len(set(pivots)) == len(pivots)
+
+    def test_theta_zero_stops_early(self, rng):
+        """θ = 0 tolerates no diversity drop at all, so the pivot set stays
+        minimal (at most a handful on uniform data)."""
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(20)]
+        few = select_pivots(trajs, theta=0.0, rng=random.Random(0))
+        many = select_pivots(trajs, theta=0.999, rng=random.Random(0))
+        assert len(few) <= len(many)
+
+
+class TestPartition:
+    def test_small_node_returns_none(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(5)]
+        assert partition(trajs, min_node_size=10) is None
+
+    def test_groups_cover_everything_once(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(25)]
+        result = partition(trajs, min_node_size=5, max_pivots=4,
+                           rng=random.Random(0))
+        assert result is not None
+        all_indices = sorted(i for g in result.groups for i in g)
+        assert all_indices == list(range(25))
+
+    def test_each_group_contains_its_pivot(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(25)]
+        result = partition(trajs, min_node_size=5, max_pivots=4,
+                           rng=random.Random(0))
+        assert result is not None
+        for pivot, group in zip(result.pivots, result.groups):
+            assert pivot in group
+
+    def test_one_boxseq_per_group(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(25)]
+        result = partition(trajs, min_node_size=5, max_pivots=4,
+                           rng=random.Random(0))
+        assert result is not None
+        assert len(result.boxseqs) == len(result.groups)
+
+    def test_clustered_data_groups_by_cluster(self, rng):
+        """Minimum-volume-growth assignment keeps clusters together."""
+        trajs = clustered_trajectories(rng, clusters=3, per_cluster=8)
+        result = partition(trajs, min_node_size=4, max_pivots=3,
+                           rng=random.Random(2))
+        assert result is not None
+        for group in result.groups:
+            clusters = {i // 8 for i in group}
+            assert len(clusters) == 1, f"group mixes clusters: {group}"
+
+    def test_deterministic_given_rng(self, rng):
+        trajs = [random_walk_trajectory(rng, 5) for _ in range(20)]
+        r1 = partition(trajs, min_node_size=5, rng=random.Random(3),
+                       max_pivots=4)
+        r2 = partition(trajs, min_node_size=5, rng=random.Random(3),
+                       max_pivots=4)
+        assert r1 is not None and r2 is not None
+        assert r1.groups == r2.groups

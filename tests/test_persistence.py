@@ -1,0 +1,82 @@
+"""TrajTree save/load round-trip tests."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.index import TrajTree
+from repro.index.persistence import load_tree, save_tree
+
+from helpers import random_walk_trajectory
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(61)
+    db = [random_walk_trajectory(rng, int(rng.integers(4, 9)))
+          for _ in range(30)]
+    return TrajTree(db, num_vps=8, min_node_size=6, seed=4)
+
+
+class TestRoundTrip:
+    def test_results_identical(self, tree, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            q = random_walk_trajectory(rng, 7)
+            assert loaded.knn(q, 5) == tree.knn(q, 5)
+
+    def test_structure_preserved(self, tree, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert loaded.height() == tree.height()
+        assert loaded.node_count() == tree.node_count()
+        assert sorted(loaded.ids()) == sorted(tree.ids())
+        assert loaded.storage_summary() == tree.storage_summary()
+
+    def test_loaded_tree_supports_updates(self, tree, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        rng = np.random.default_rng(5)
+        tid = loaded.insert(random_walk_trajectory(rng, 6))
+        assert tid in loaded
+        q = random_walk_trajectory(rng, 7)
+        assert [t for t, _ in loaded.knn(q, 5)] == [
+            t for t, _ in loaded.knn_scan(q, 5)
+        ]
+
+
+class TestValidation:
+    def test_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as f:
+            pickle.dump({"something": "else"}, f)
+        with pytest.raises(ValueError, match="not a TrajTree snapshot"):
+            load_tree(path)
+
+    def test_rejects_version_mismatch(self, tree, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+        payload["version"] = "0.0.1"
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+        with pytest.raises(ValueError, match="rebuild"):
+            load_tree(path)
+
+    def test_rejects_fingerprint_mismatch(self, tree, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+        payload["fingerprint"]["count"] = 999
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_tree(path)

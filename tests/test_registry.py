@@ -1,0 +1,51 @@
+"""Distance registry tests."""
+
+import pytest
+
+from repro.baselines import MAParams, get_distance, list_distances
+from repro.core import Trajectory
+
+
+A = Trajectory.from_xy([(0, 0), (1, 0), (2, 0)])
+B = Trajectory.from_xy([(0, 1), (1, 1), (2, 1)])
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in list_distances():
+            eps = 1.0 if name in ("edr", "lcss") else None
+            spec = get_distance(name, eps=eps)
+            value = spec(A, B)
+            assert value >= 0.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_distance("sspd")
+
+    def test_threshold_metrics_require_eps(self):
+        with pytest.raises(ValueError):
+            get_distance("edr")
+        with pytest.raises(ValueError):
+            get_distance("lcss")
+
+    def test_threshold_free_flags(self):
+        assert get_distance("edwp").threshold_free
+        assert get_distance("dtw").threshold_free
+        assert not get_distance("edr", eps=1.0).threshold_free
+        assert not get_distance("ma").threshold_free
+
+    def test_edwp_variants_differ(self):
+        raw = get_distance("edwp_raw")(A, B)
+        avg = get_distance("edwp")(A, B)
+        assert raw == pytest.approx(avg * (A.length + B.length))
+
+    def test_ma_params_threaded_through(self):
+        strict = get_distance("ma", ma_params=MAParams(gap_penalty=50.0))
+        loose = get_distance("ma", ma_params=MAParams(gap_penalty=0.001))
+        far = B.translated(0, 100)
+        assert strict(A, far) != pytest.approx(loose(A, far))
+
+    def test_spec_is_callable_and_named(self):
+        spec = get_distance("dtw")
+        assert spec.name == "DTW"
+        assert spec(A, A) == 0.0

@@ -1,0 +1,91 @@
+"""Spearman correlation and the union-rank k-NN protocol."""
+
+import numpy as np
+import pytest
+
+from repro.eval.spearman import knn_list_correlation, rank, spearman
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestRank:
+    def test_simple(self):
+        assert list(rank([10.0, 30.0, 20.0])) == [1.0, 3.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert list(rank([5.0, 5.0, 1.0])) == [2.5, 2.5, 1.0]
+
+    def test_matches_scipy(self, rng):
+        for _ in range(20):
+            x = rng.uniform(0, 1, 15)
+            assert np.allclose(rank(x), scipy_stats.rankdata(x))
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self, rng):
+        for _ in range(30):
+            x = rng.uniform(0, 1, 12)
+            y = rng.uniform(0, 1, 12)
+            want = scipy_stats.spearmanr(x, y).statistic
+            assert spearman(x, y) == pytest.approx(want, abs=1e-12)
+
+    def test_with_ties_matches_scipy(self, rng):
+        for _ in range(20):
+            x = rng.integers(0, 4, 12).astype(float)
+            y = rng.integers(0, 4, 12).astype(float)
+            want = scipy_stats.spearmanr(x, y).statistic
+            if np.isnan(want):
+                continue
+            assert spearman(x, y) == pytest.approx(want, abs=1e-12)
+
+    def test_degenerate_lengths(self):
+        assert spearman([1.0], [2.0]) == 1.0
+        assert spearman([], []) == 1.0
+
+    def test_constant_inputs(self):
+        assert spearman([1, 1, 1], [1, 1, 1]) == 1.0
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestKnnListCorrelation:
+    def test_identical_tables(self):
+        d = {i: float(i) for i in range(20)}
+        assert knn_list_correlation(d, d, k=5) == pytest.approx(1.0)
+
+    def test_reversed_neighbourhood(self):
+        d1 = {i: float(i) for i in range(10)}
+        d2 = {i: float(9 - i) for i in range(10)}
+        assert knn_list_correlation(d1, d2, k=5) < 0.0
+
+    def test_disjoint_topk_penalized(self):
+        """When noise pushes the clean top-k far down the noisy ranking,
+        the correlation must drop well below 1."""
+        d1 = {i: float(i) for i in range(20)}
+        d2 = dict(d1)
+        for i in range(5):                # clean top-5 now rank last
+            d2[i] = 100.0 + i
+        assert knn_list_correlation(d1, d2, k=5) < 0.9
+
+    def test_key_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            knn_list_correlation({1: 0.0}, {2: 0.0}, k=1)
+
+    def test_invalid_k(self):
+        d = {1: 0.0, 2: 1.0}
+        with pytest.raises(ValueError):
+            knn_list_correlation(d, d, k=0)
+
+    def test_small_perturbation_keeps_high_correlation(self, rng):
+        d1 = {i: float(v) for i, v in enumerate(rng.uniform(0, 1, 30))}
+        d2 = {i: v + float(rng.normal(0, 0.01)) for i, v in d1.items()}
+        assert knn_list_correlation(d1, d2, k=10) > 0.8

@@ -1,0 +1,79 @@
+"""Trip splitting tests — the paper's 15-minute preprocessing rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.datasets.splitting import split_trajectory, split_trips
+
+
+def stream(points):
+    return Trajectory(points, validate=False)
+
+
+class TestTimeGapRule:
+    def test_split_on_large_gap(self):
+        t = stream([(0, 0, 0), (10, 0, 60), (20, 0, 60 + 16 * 60),
+                    (30, 0, 60 + 17 * 60)])
+        trips = split_trajectory(t)
+        assert len(trips) == 2
+        assert len(trips[0]) == 2
+        assert len(trips[1]) == 2
+
+    def test_no_split_under_threshold(self):
+        t = stream([(0, 0, 0), (10, 0, 60), (20, 0, 60 + 14 * 60)])
+        trips = split_trajectory(t)
+        assert len(trips) == 1
+        assert len(trips[0]) == 3
+
+    def test_custom_gap(self):
+        t = stream([(0, 0, 0), (10, 0, 120)])
+        assert len(split_trajectory(t, max_gap=60.0, min_points=1)) == 2
+
+
+class TestStationaryRule:
+    def test_split_on_long_dwell(self):
+        """A 20-minute dwell (parked cab) ends the trip; the dwell points
+        themselves are dropped."""
+        pts = [(0, 0, 0), (100, 0, 60), (200, 0, 120)]
+        # parked at (200, 0) for 20 minutes, fixes every 60 s
+        pts += [(200 + (i % 3), 0, 120 + 60 * (i + 1)) for i in range(20)]
+        pts += [(300, 0, 120 + 21 * 60), (400, 0, 120 + 22 * 60)]
+        trips = split_trajectory(stream(pts))
+        assert len(trips) == 2
+        assert len(trips[0]) == 3          # the driving prefix
+        assert trips[1][0].x >= 200.0      # the next trip starts after
+
+    def test_short_dwell_kept(self):
+        pts = [(0, 0, 0), (100, 0, 60)]
+        pts += [(100, 0, 60 + 60 * (i + 1)) for i in range(5)]  # 5 min dwell
+        pts += [(200, 0, 60 + 6 * 60)]
+        trips = split_trajectory(stream(pts))
+        assert len(trips) == 1
+
+    def test_slow_movement_is_not_dwell(self):
+        """Continuous slow progress beyond the radius never triggers the
+        stationary rule."""
+        pts = [(i * 60.0, 0, i * 60.0) for i in range(40)]  # 1 m/s for 40 min
+        trips = split_trajectory(stream(pts))
+        assert len(trips) == 1
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert split_trajectory(Trajectory([])) == []
+
+    def test_single_point_dropped(self):
+        assert split_trajectory(stream([(0, 0, 0)])) == []
+
+    def test_min_points_filter(self):
+        t = stream([(0, 0, 0), (1, 0, 30), (2, 0, 16 * 60)])
+        # gap splits into [2 points] + [1 point]; the singleton is dropped
+        trips = split_trajectory(t)
+        assert len(trips) == 1
+
+    def test_split_trips_assigns_ids(self):
+        s1 = stream([(0, 0, 0), (1, 0, 30), (2, 0, 16 * 60), (3, 0, 16 * 60 + 30)])
+        s2 = stream([(5, 5, 0), (6, 5, 30)])
+        trips = split_trips([s1, s2])
+        assert [t.traj_id for t in trips] == list(range(len(trips)))

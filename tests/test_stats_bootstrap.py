@@ -1,0 +1,87 @@
+"""Tests for corpus statistics and bootstrap utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.datasets import generate_beijing
+from repro.datasets.stats import corpus_stats, format_stats
+from repro.eval.bootstrap import bootstrap_diff_ci, bootstrap_mean_ci
+
+
+class TestCorpusStats:
+    def test_basic_counts(self):
+        trajs = [
+            Trajectory([(0, 0, 0), (10, 0, 10)]),
+            Trajectory([(0, 0, 0), (5, 0, 5), (10, 0, 20)]),
+        ]
+        stats = corpus_stats(trajs)
+        assert stats.num_trajectories == 2
+        assert stats.total_points == 5
+        assert stats.points_min == 2
+        assert stats.points_max == 3
+        assert stats.length_mean == pytest.approx(10.0)
+
+    def test_speed(self):
+        t = Trajectory([(0, 0, 0), (100, 0, 10)])
+        assert corpus_stats([t]).speed_mean == pytest.approx(10.0)
+
+    def test_interval_structure_uniform(self):
+        t = Trajectory([(0, 0, 0), (1, 0, 10), (2, 0, 20), (3, 0, 30)])
+        stats = corpus_stats([t])
+        assert stats.interval_mean == pytest.approx(10.0)
+        assert stats.intra_traj_interval_cv == pytest.approx(0.0)
+
+    def test_inter_variation_detected(self):
+        fast = Trajectory([(0, 0, 0), (1, 0, 1), (2, 0, 2)])
+        slow = Trajectory([(0, 0, 0), (1, 0, 100), (2, 0, 200)])
+        stats = corpus_stats([fast, slow])
+        assert stats.inter_traj_interval_cv > 0.5
+
+    def test_beijing_has_heterogeneous_sampling(self):
+        """The synthetic workload exhibits the paper's motivating nuisance."""
+        stats = corpus_stats(generate_beijing(25, seed=1))
+        assert stats.inter_traj_interval_cv > 0.3
+        assert stats.intra_traj_interval_cv > 0.05
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            corpus_stats([])
+
+    def test_format(self):
+        text = format_stats(corpus_stats(generate_beijing(5, seed=1)))
+        assert "trajectories" in text
+        assert "interval CV" in text
+
+
+class TestBootstrap:
+    def test_mean_ci_contains_truth(self, rng):
+        sample = rng.normal(5.0, 1.0, 200)
+        ci = bootstrap_mean_ci(sample, seed=1)
+        assert ci.low <= 5.0 <= ci.high
+        assert ci.contains(float(np.mean(sample)))
+
+    def test_ci_narrows_with_sample_size(self, rng):
+        small = bootstrap_mean_ci(rng.normal(0, 1, 20), seed=1)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 2000), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_diff_ci_detects_gap(self, rng):
+        a = rng.normal(1.0, 0.1, 100)
+        b = rng.normal(0.0, 0.1, 100)
+        ci = bootstrap_diff_ci(a, b, seed=2)
+        assert ci.low > 0.5
+
+    def test_diff_ci_paired_lengths(self):
+        with pytest.raises(ValueError):
+            bootstrap_diff_ci([1, 2], [1, 2, 3])
+
+    def test_str(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0], seed=0)
+        assert "@95%" in str(ci)

@@ -1,0 +1,101 @@
+"""Unit tests for st-boxes (Definition 4)."""
+
+import pytest
+
+from repro.core import STPoint, Segment
+from repro.index import STBox
+
+
+def box(xmin=0.0, ymin=0.0, xmax=10.0, ymax=10.0, min_len=1.0):
+    return STBox(xmin, ymin, xmax, ymax, min_len)
+
+
+class TestConstruction:
+    def test_from_segment_is_tight(self):
+        seg = Segment(STPoint(3, 8, 0), STPoint(1, 2, 5))
+        b = STBox.from_segment(seg)
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (1.0, 2.0, 3.0, 8.0)
+        assert b.min_len == pytest.approx(seg.length)
+
+    def test_from_points(self):
+        b = STBox.from_points([(0, 0), (5, 2), (3, 7)], min_len=2.0)
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0.0, 0.0, 5.0, 7.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            STBox.from_points([], min_len=0.0)
+
+    def test_invalid_extent_raises(self):
+        with pytest.raises(ValueError):
+            STBox(5, 0, 0, 10, 1.0)
+
+    def test_negative_min_len_raises(self):
+        with pytest.raises(ValueError):
+            STBox(0, 0, 1, 1, -1.0)
+
+
+class TestGeometry:
+    def test_area(self):
+        assert box(0, 0, 4, 5).area == 20.0
+
+    def test_center(self):
+        assert box(0, 0, 10, 20).center == (5.0, 10.0)
+
+    def test_contains_point(self):
+        b = box()
+        assert b.contains_point((5, 5))
+        assert b.contains_point((0, 10))
+        assert not b.contains_point((11, 5))
+
+    def test_contains_segment(self):
+        b = box()
+        inside = Segment(STPoint(1, 1, 0), STPoint(9, 9, 1))
+        escaping = Segment(STPoint(1, 1, 0), STPoint(9, 11, 1))
+        assert b.contains_segment(inside)
+        assert not b.contains_segment(escaping)
+
+    def test_dist_point_definition(self):
+        """dist(s, b) = min over the box (0 inside, rect distance outside)."""
+        b = box()
+        assert b.dist_point((5, 5)) == 0.0
+        assert b.dist_point((13, 14)) == 5.0
+
+    def test_project_point(self):
+        b = box()
+        assert b.project_point((15, 5)) == (10.0, 5.0)
+        assert b.project_point((5, 5)) == (5.0, 5.0)
+
+    def test_project_on_segment(self):
+        b = box()
+        (px, py), t = b.project_on_segment((20, 0), (20, 20))
+        assert px == 20.0
+        assert b.dist_point((px, py)) == pytest.approx(10.0)
+
+
+class TestExpansion:
+    def test_expanded_by_piece_grows(self):
+        b = box().expanded_by_piece((12, 5), (12, 8))
+        assert b.xmax == 12.0
+        assert b.min_len == pytest.approx(1.0)  # piece len 3 > min_len 1
+
+    def test_expanded_by_short_piece_lowers_min_len(self):
+        b = box().expanded_by_piece((1, 1), (1.2, 1.0))
+        assert b.min_len == pytest.approx(0.2)
+
+    def test_expansion_is_monotone(self):
+        b = box()
+        grown = b.expanded_by_piece((-5, -5), (20, 25))
+        assert grown.xmin <= b.xmin and grown.xmax >= b.xmax
+        assert grown.area >= b.area
+
+    def test_union(self):
+        a = box(0, 0, 5, 5, min_len=2.0)
+        b = box(3, 3, 10, 12, min_len=1.0)
+        u = a.union(b)
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0.0, 0.0, 10.0, 12.0)
+        assert u.min_len == 1.0
+
+    def test_union_area_increase(self):
+        b = box(0, 0, 10, 10)
+        assert b.union_area_increase((5, 5), (6, 6)) == 0.0
+        assert b.union_area_increase((20, 0), (20, 10)) == pytest.approx(100.0)

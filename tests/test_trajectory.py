@@ -1,0 +1,193 @@
+"""Unit tests for the trajectory data model (Definitions 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import STPoint, Segment, Trajectory
+
+
+class TestSTPoint:
+    def test_fields(self):
+        p = STPoint(1.0, 2.0, 3.0)
+        assert (p.x, p.y, p.t) == (1.0, 2.0, 3.0)
+        assert p.xy == (1.0, 2.0)
+
+    def test_distance_is_spatial_only(self):
+        a = STPoint(0, 0, 0)
+        b = STPoint(3, 4, 1000)
+        assert a.distance(b) == 5.0
+
+    def test_equality_and_hash(self):
+        assert STPoint(1, 2, 3) == STPoint(1, 2, 3)
+        assert STPoint(1, 2, 3) != STPoint(1, 2, 4)
+        assert hash(STPoint(1, 2, 3)) == hash(STPoint(1, 2, 3))
+
+    def test_iter(self):
+        assert tuple(STPoint(1, 2, 3)) == (1.0, 2.0, 3.0)
+
+
+class TestSegment:
+    def test_length_and_duration(self):
+        seg = Segment(STPoint(0, 0, 0), STPoint(3, 4, 10))
+        assert seg.length == 5.0
+        assert seg.duration == 10.0
+        assert seg.speed == 0.5
+
+    def test_zero_duration_speed_is_inf(self):
+        seg = Segment(STPoint(0, 0, 5), STPoint(1, 0, 5))
+        assert seg.speed == math.inf
+
+    def test_point_at_fraction_matches_paper_insert_rule(self):
+        """Example 1: splitting (0,0,0)-(0,10,30) at the point (0,7)
+        assigns timestamp 21 (proportional to the spatial split)."""
+        seg = Segment(STPoint(0, 0, 0), STPoint(0, 10, 30))
+        p = seg.point_at_fraction(0.7)
+        assert (p.x, p.y) == (0.0, 7.0)
+        assert p.t == pytest.approx(21.0)
+
+
+class TestTrajectoryConstruction:
+    def test_from_xyt(self):
+        t = Trajectory([(0, 0, 0), (1, 1, 5)])
+        assert len(t) == 2
+        assert t.num_segments == 1
+
+    def test_two_columns_get_default_times(self):
+        t = Trajectory([(0, 0), (1, 1), (2, 2)])
+        assert list(t.times()) == [0.0, 1.0, 2.0]
+
+    def test_empty(self):
+        t = Trajectory([])
+        assert len(t) == 0
+        assert t.num_segments == 0
+        assert t.length == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Trajectory([(0, 0, 0), (float("nan"), 1, 1)])
+
+    def test_rejects_decreasing_time(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Trajectory([(0, 0, 5), (1, 1, 3)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Trajectory([(1, 2, 3, 4)])
+
+    def test_from_xy_dt(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0)], dt=30.0)
+        assert list(t.times()) == [0.0, 30.0]
+
+    def test_metadata_kept(self):
+        t = Trajectory([(0, 0, 0), (1, 1, 1)], traj_id=7, label="sign_001")
+        assert t.traj_id == 7
+        assert t.label == "sign_001"
+
+
+class TestTrajectoryDerived:
+    def test_length_eq1(self):
+        """Eq. 1: trajectory length is the sum of segment lengths."""
+        t = Trajectory.from_xy([(0, 0), (3, 4), (3, 10)])
+        assert t.length == pytest.approx(5.0 + 6.0)
+        assert list(t.segment_lengths()) == pytest.approx([5.0, 6.0])
+
+    def test_duration(self):
+        t = Trajectory([(0, 0, 10), (1, 1, 25)])
+        assert t.duration == 15.0
+
+    def test_bounding_rect(self):
+        t = Trajectory.from_xy([(1, 5), (-2, 3), (4, 7)])
+        assert t.bounding_rect() == (-2.0, 3.0, 4.0, 7.0)
+
+    def test_bounding_rect_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trajectory([]).bounding_rect()
+
+    def test_segments_iteration(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0), (2, 0)])
+        segs = list(t.segments())
+        assert len(segs) == 2
+        assert segs[0].s1 == STPoint(0, 0, 0)
+        assert segs[1].s2 == STPoint(2, 0, 2)
+
+    def test_segment_out_of_range(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0)])
+        with pytest.raises(IndexError):
+            t.segment(1)
+
+
+class TestSubTrajectory:
+    def test_subtrajectory_slice(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+        sub = t.subtrajectory(1, 3)
+        assert len(sub) == 2
+        assert sub[0].x == 1.0
+
+    def test_is_subtrajectory_definition2(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert t.subtrajectory(1, 3).is_subtrajectory_of(t)
+        assert t.is_subtrajectory_of(t)
+        assert Trajectory([]).is_subtrajectory_of(t)
+
+    def test_non_contiguous_is_not_subtrajectory(self):
+        t = Trajectory.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+        gappy = Trajectory(np.vstack([t.data[0], t.data[2]]))
+        assert not gappy.is_subtrajectory_of(t)
+
+
+class TestInsertAndInterpolation:
+    def test_with_point_inserted_preserves_shape(self):
+        t = Trajectory([(0, 0, 0), (0, 10, 30)])
+        t2 = t.with_point_inserted(0, 0.7)
+        assert len(t2) == 3
+        assert t2[1].xy == (0.0, 7.0)
+        assert t2[1].t == pytest.approx(21.0)
+        assert t2.length == pytest.approx(t.length)
+
+    def test_insert_bad_index(self):
+        t = Trajectory([(0, 0, 0), (1, 0, 1)])
+        with pytest.raises(IndexError):
+            t.with_point_inserted(5, 0.5)
+
+    def test_point_at_time_interior(self):
+        t = Trajectory([(0, 0, 0), (10, 0, 10)])
+        p = t.point_at_time(4.0)
+        assert p.x == pytest.approx(4.0)
+
+    def test_point_at_time_clamps(self):
+        t = Trajectory([(0, 0, 0), (10, 0, 10)])
+        assert t.point_at_time(-5).x == 0.0
+        assert t.point_at_time(50).x == 10.0
+
+    def test_resampled_at_times(self):
+        t = Trajectory([(0, 0, 0), (10, 0, 10)])
+        r = t.resampled_at_times([0, 2.5, 5, 10])
+        assert len(r) == 4
+        assert r[1].x == pytest.approx(2.5)
+
+    def test_distance_travelled_at(self):
+        t = Trajectory.from_xy([(0, 0), (3, 4), (3, 10)])
+        assert t.distance_travelled_at(0) == 0.0
+        assert t.distance_travelled_at(1) == pytest.approx(5.0)
+        assert t.distance_travelled_at(2) == pytest.approx(11.0)
+
+
+class TestTransforms:
+    def test_translated(self):
+        t = Trajectory([(0, 0, 0), (1, 1, 1)]).translated(10, -5)
+        assert t[0].xy == (10.0, -5.0)
+
+    def test_reversed_keeps_time_axis(self):
+        t = Trajectory([(0, 0, 0), (1, 0, 5), (2, 0, 20)])
+        r = t.reversed()
+        assert r[0].xy == (2.0, 0.0)
+        assert list(r.times()) == [0.0, 5.0, 20.0]
+
+    def test_equality(self):
+        a = Trajectory([(0, 0, 0), (1, 1, 1)])
+        b = Trajectory([(0, 0, 0), (1, 1, 1)])
+        c = Trajectory([(0, 0, 0), (1, 2, 1)])
+        assert a == b
+        assert a != c

@@ -1,0 +1,131 @@
+"""Vantage point machinery tests (Definitions 6-8)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.index.vantage import (
+    VantageIndex,
+    select_vantage_points,
+    vantage_distance,
+    vp_distance,
+    vp_distances,
+)
+
+from helpers import random_walk_trajectory
+
+
+class TestVPDistance:
+    def test_closest_point_not_sample(self):
+        """Definition 6: the closest point may be interior to a segment."""
+        t = Trajectory.from_xy([(0, 0), (10, 0)])
+        assert vp_distance(t, (5, 3)) == pytest.approx(3.0)
+
+    def test_at_sample(self):
+        t = Trajectory.from_xy([(0, 0), (10, 0)])
+        assert vp_distance(t, (0, 0)) == 0.0
+
+    def test_single_point_trajectory(self):
+        t = Trajectory([(2, 2, 0)])
+        assert vp_distance(t, (5, 6)) == pytest.approx(5.0)
+
+    def test_vectorized_matches_scalar(self, rng):
+        t = random_walk_trajectory(rng, 8)
+        vps = rng.uniform(0, 20, (10, 2))
+        vec = vp_distances(t, vps)
+        for i in range(10):
+            assert vec[i] == pytest.approx(vp_distance(t, vps[i]))
+
+    def test_empty_trajectory_raises(self):
+        with pytest.raises(ValueError):
+            vp_distance(Trajectory([]), (0, 0))
+
+    def test_degenerate_segment(self):
+        t = Trajectory([(1, 1, 0), (1, 1, 5)])
+        assert vp_distance(t, (4, 5)) == pytest.approx(5.0)
+
+
+class TestSelectVantagePoints:
+    def test_count(self, rng):
+        trajs = [random_walk_trajectory(rng, 6) for _ in range(5)]
+        vps = select_vantage_points(trajs, 8, random.Random(0))
+        assert vps.shape == (8, 2)
+
+    def test_caps_at_available_points(self, rng):
+        trajs = [random_walk_trajectory(rng, 3)]
+        vps = select_vantage_points(trajs, 100, random.Random(0))
+        assert vps.shape[0] == 3
+
+    def test_spread(self, rng):
+        """Max-min selection spreads VPs: no two coincide."""
+        trajs = [random_walk_trajectory(rng, 8) for _ in range(5)]
+        vps = select_vantage_points(trajs, 10, random.Random(0))
+        dists = np.hypot(
+            vps[:, None, 0] - vps[None, :, 0], vps[:, None, 1] - vps[None, :, 1]
+        )
+        np.fill_diagonal(dists, np.inf)
+        assert dists.min() > 0.0
+
+
+class TestVantageDistance:
+    def test_identical_descriptors(self):
+        d = np.array([1.0, 2.0, 3.0])
+        assert vantage_distance(d, d) == 0.0
+
+    def test_range(self, rng):
+        for _ in range(20):
+            a = rng.uniform(0, 10, 5)
+            b = rng.uniform(0, 10, 5)
+            vd = vantage_distance(a, b)
+            assert 0.0 <= vd <= 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.uniform(0, 10, 5)
+        b = rng.uniform(0, 10, 5)
+        assert vantage_distance(a, b) == pytest.approx(vantage_distance(b, a))
+
+    def test_zero_dimensions_agree(self):
+        assert vantage_distance(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vantage_distance(np.zeros(3), np.zeros(4))
+
+
+class TestVantageIndex:
+    def test_build_and_topk(self, rng):
+        trajs = [random_walk_trajectory(rng, 6) for _ in range(10)]
+        idx = VantageIndex.build(trajs, list(range(10)), 6, random.Random(0))
+        q = trajs[3]
+        top = idx.top_k(idx.describe(q), 3)
+        assert len(top) == 3
+        # the trajectory itself has VD 0 and must rank first
+        assert top[0][0] == 3
+        assert top[0][1] == pytest.approx(0.0)
+
+    def test_topk_excludes(self, rng):
+        trajs = [random_walk_trajectory(rng, 6) for _ in range(10)]
+        idx = VantageIndex.build(trajs, list(range(10)), 6, random.Random(0))
+        top = idx.top_k(idx.describe(trajs[3]), 3, exclude={3})
+        assert all(tid != 3 for tid, _ in top)
+
+    def test_vd_correlates_with_proximity(self, rng):
+        """Trajectories through similar regions should have small VD —
+        the Sec. IV-E design intuition."""
+        base = random_walk_trajectory(rng, 8, origin=np.array([0.0, 0.0]))
+        near = base.translated(1.0, 1.0)
+        far = base.translated(300.0, 300.0)
+        idx = VantageIndex.build([base, near, far], [0, 1, 2], 8,
+                                 random.Random(0))
+        qd = idx.describe(base)
+        vd_near = idx.top_k(qd, 3)
+        order = [tid for tid, _ in vd_near]
+        assert order.index(1) < order.index(2)
+
+    def test_mismatched_rows_raise(self, rng):
+        trajs = [random_walk_trajectory(rng, 6) for _ in range(3)]
+        idx = VantageIndex.build(trajs, [0, 1, 2], 4, random.Random(0))
+        with pytest.raises(ValueError):
+            VantageIndex(idx.vps, [0, 1], idx.descriptors)
