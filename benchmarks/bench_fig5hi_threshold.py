@@ -40,7 +40,7 @@ def test_fig5i_vs_noise(benchmark, results_dir):
 
 
 def _check_shape(result):
-    """Reproduction note (EXPERIMENTS.md): with the paper's own radius rule
+    """Reproduction note: with the paper's own radius rule
     (30 s at average speed ~ 235 m) and the EDR-paper's eps rule (~ 416 m),
     the perturbation stays *below* the matching threshold, so the threshold
     metrics barely move at this scale — the threshold-dependency behaviour

@@ -7,8 +7,8 @@ table, and writes it to ``benchmarks/results/<name>.txt`` so the regenerated
 figures survive output capturing.
 
 Scales are reduced relative to the paper (pure-Python DP vs the authors'
-Java testbed); EXPERIMENTS.md records both the scales and the shape
-comparison against the paper's figures.
+Java testbed); README.md's benchmark matrix records the scales and the
+shape comparison against the paper's figures.
 """
 
 from __future__ import annotations

@@ -9,6 +9,15 @@ signal gaps.  This example runs the full production pipeline:
   3. answer "which past trips most resemble this one?" queries exactly,
   4. compare the index's work against a sequential scan.
 
+Choosing a backend: this example runs EDwP on the vectorized numpy kernel
+(``backend="numpy"`` below) because index workloads are batch-shaped —
+leaf refinement and the sequential-scan comparison evaluate one query
+against many trips, which the lockstep kernel computes an order of
+magnitude faster.  The pure-Python backend (the default) gives identical
+results and is the better choice for single distances on short
+trajectories or when auditing the DP against the paper; see DESIGN.md,
+"Dual-backend EDwP kernels".
+
 Run:  python examples/taxi_knn_search.py
 """
 
@@ -36,9 +45,9 @@ def main() -> None:
     for i, t in enumerate(corpus):
         t.traj_id = i
 
-    # --- 2. Index ----------------------------------------------------------
+    # --- 2. Index (exact distances on the vectorized numpy backend) -------
     start = time.perf_counter()
-    tree = TrajTree(corpus, normalized=True, seed=1)
+    tree = TrajTree(corpus, normalized=True, seed=1, backend="numpy")
     print(f"\nTrajTree over {len(tree)} trips built in "
           f"{time.perf_counter() - start:.1f}s "
           f"(height {tree.height()}, branching {tree.branching_factors()[:3]}...)")

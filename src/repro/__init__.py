@@ -15,7 +15,12 @@ The package provides:
 * ``repro.datasets`` — synthetic Beijing-taxi and ASL-sign workloads, the
   Sec. V noise protocols, trip splitting and uniform re-interpolation.
 * ``repro.eval`` — classification, robustness, UB-factor and feature-matrix
-  harnesses regenerating every table and figure (see EXPERIMENTS.md).
+  harnesses regenerating every table and figure (see the benchmark matrix
+  in README.md).
+
+Distances run on one of two interchangeable backends — the pure-Python
+reference DP or the vectorized numpy kernel (``set_backend("numpy")``);
+DESIGN.md documents the contract between them.
 
 Quickstart::
 
@@ -40,6 +45,10 @@ from .core import (
     edwp,
     edwp_alignment,
     edwp_avg,
+    edwp_many,
+    get_backend,
+    set_backend,
+    use_backend,
 )
 from .core.edwp_sub import edwp_sub, edwp_sub_alignment, prefix_dist
 from .index import STBox, TBoxSeq, TrajTree, edwp_sub_box
@@ -55,6 +64,10 @@ __all__ = [
     "edwp",
     "edwp_alignment",
     "edwp_avg",
+    "edwp_many",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "edwp_sub",
     "edwp_sub_alignment",
     "prefix_dist",

@@ -51,6 +51,7 @@ def get_distance(
     name: str,
     eps: Optional[float] = None,
     ma_params: Optional[MAParams] = None,
+    backend: Optional[str] = None,
 ) -> DistanceSpec:
     """Build a distance spec by name.
 
@@ -58,15 +59,19 @@ def get_distance(
     ``dtw``, ``erp``, ``dissim``, ``ma``, ``lp``.
 
     ``eps`` parameterizes EDR/LCSS (required for those two); ``ma_params``
-    overrides the MA model parameters.
+    overrides the MA model parameters.  ``backend`` pins the EDwP variants
+    to one DP backend (``"python"`` / ``"numpy"``); by default they follow
+    the global :func:`repro.core.set_backend` choice.
     """
     key = name.lower()
     if key in ("edwp", "edwp_avg"):
-        return DistanceSpec("EDwP", edwp_avg, True,
-                            "Edit Distance with Projections, length-normalized (Eq. 4)")
+        return DistanceSpec(
+            "EDwP", lambda a, b: edwp_avg(a, b, backend=backend), True,
+            "Edit Distance with Projections, length-normalized (Eq. 4)")
     if key == "edwp_raw":
-        return DistanceSpec("EDwP-raw", edwp, True,
-                            "Edit Distance with Projections, cumulative")
+        return DistanceSpec(
+            "EDwP-raw", lambda a, b: edwp(a, b, backend=backend), True,
+            "Edit Distance with Projections, cumulative")
     if key == "edr":
         if eps is None:
             raise ValueError("EDR requires eps")

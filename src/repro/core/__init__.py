@@ -6,12 +6,29 @@ Public surface:
   :class:`~repro.core.trajectory.Segment` — the data model (Definitions 1-3).
 * :func:`~repro.core.edwp.edwp`, :func:`~repro.core.edwp.edwp_avg`,
   :func:`~repro.core.edwp.edwp_alignment` — Sec. III-A.
+* :func:`~repro.core.edwp.edwp_many` — batched EDwP of one query against
+  many trajectories (the hot path of index refinement and benchmarks).
 * :func:`~repro.core.edwp_sub.edwp_sub`, :func:`~repro.core.edwp_sub.prefix_dist`
   — the sub-trajectory distance of Sec. IV-B (Eq. 5-6).
+* :func:`~repro.core.edwp.set_backend` / :func:`~repro.core.edwp.get_backend`
+  / :func:`~repro.core.edwp.use_backend` — switch between the pure-Python
+  reference DP and the vectorized numpy kernel
+  (:mod:`repro.core.edwp_fast`); see DESIGN.md, "Dual-backend EDwP kernels".
 """
 
 from .trajectory import STPoint, Segment, Trajectory
-from .edwp import EditOp, EdwpResult, edwp, edwp_alignment, edwp_avg
+from .edwp import (
+    BACKENDS,
+    EditOp,
+    EdwpResult,
+    edwp,
+    edwp_alignment,
+    edwp_avg,
+    edwp_many,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 
 __all__ = [
     "STPoint",
@@ -22,4 +39,9 @@ __all__ = [
     "edwp",
     "edwp_alignment",
     "edwp_avg",
+    "edwp_many",
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

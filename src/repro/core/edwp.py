@@ -31,14 +31,42 @@ which reproduces the zero-length-split behaviour of the recursive definition
 Timestamps never enter the cost: EDwP is a purely spatial distance, and the
 timestamp assigned to an inserted point (proportional to the spatial split,
 Sec. III-A) only matters to consumers of the alignment.
+
+Dual-backend architecture
+-------------------------
+The DP has two interchangeable realizations (see DESIGN.md, "Dual-backend
+EDwP kernels"):
+
+``"python"``
+    The reference implementation in this module — a readable cell-by-cell
+    loop over plain floats, easy to audit against the paper's equations.
+    This is the default and the oracle the test-suite compares against.
+``"numpy"``
+    The vectorized kernel in :mod:`repro.core.edwp_fast` — the same DP
+    swept anti-diagonally over preallocated coordinate arrays, with a
+    lockstep batched mode that computes one query against many targets at
+    once.  Matches the reference to float tolerance.
+
+The active backend is selected globally with :func:`set_backend` (or
+temporarily with :func:`use_backend`), and every distance entry point also
+accepts an explicit ``backend=`` override.  :func:`edwp_many` exposes the
+batched kernel directly; TrajTree routes leaf refinement and scan oracles
+through it.
+
+Alignment recovery (:func:`edwp_alignment`) always runs the python backend:
+backtracking needs the full parent/position matrices, which the vectorized
+kernel deliberately does not materialize.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from . import edwp_fast
 from .geometry import Point, point_distance, project_point_on_segment
 from .trajectory import Trajectory
 
@@ -47,10 +75,60 @@ __all__ = [
     "EdwpResult",
     "edwp",
     "edwp_avg",
+    "edwp_many",
     "edwp_alignment",
     "rep_cost",
     "coverage",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "BACKENDS",
 ]
+
+#: The selectable DP realizations: the pure-Python reference and the
+#: vectorized numpy kernel (see module docstring).
+BACKENDS = ("python", "numpy")
+
+_active_backend = "python"
+
+
+def get_backend() -> str:
+    """Name of the globally active EDwP backend."""
+    return _active_backend
+
+
+def set_backend(name: str) -> str:
+    """Select the global EDwP backend; returns the previous one.
+
+    Affects every call that does not pass an explicit ``backend=``,
+    including the distance registry, TrajTree queries and the CLI.
+    """
+    global _active_backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown EDwP backend {name!r}; choose from {BACKENDS}")
+    previous = _active_backend
+    _active_backend = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager running a block under a specific backend."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend is None:
+        return _active_backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown EDwP backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 _REP = 0
 _INS1 = 1  # insert on T1 (T2 advances)
@@ -264,34 +342,94 @@ def _edwp_dp(
     return cost, parents, pos
 
 
-def edwp(t1: Trajectory, t2: Trajectory) -> float:
+def edwp(t1: Trajectory, t2: Trajectory, backend: Optional[str] = None) -> float:
     """EDwP distance between two trajectories (paper Sec. III-A).
 
     Returns 0 when both trajectories have no segments, ``inf`` when exactly
     one of them has no segments (the recursion's base cases), and the optimal
     cumulative weighted edit cost otherwise.
+
+    ``backend`` overrides the global backend (see :func:`set_backend`) for
+    this call: ``"python"`` runs the reference DP, ``"numpy"`` the
+    vectorized kernel.
     """
     trivial = _trivial_distance(t1.num_segments, t2.num_segments)
     if trivial is not None:
         return trivial
+    if _resolve_backend(backend) == "numpy":
+        return edwp_fast.edwp_numpy(t1, t2)
     p1 = _spatial_points(t1)
     p2 = _spatial_points(t2)
     cost, _, _ = _edwp_dp(p1, p2, keep_parents=False)
     return cost[len(p1) - 1][len(p2) - 1]
 
 
-def edwp_avg(t1: Trajectory, t2: Trajectory) -> float:
+def _normalize(raw: float, denom: float) -> float:
+    """Eq. 4 with the degenerate zero-length rule."""
+    if denom <= 0.0:
+        return 0.0 if raw == 0.0 else math.inf
+    return raw / denom
+
+
+def edwp_avg(t1: Trajectory, t2: Trajectory, backend: Optional[str] = None) -> float:
     """Length-normalized EDwP, Eq. 4: ``EDwP / (length(T1) + length(T2))``.
 
     The paper's experiments (Sec. V-A) use this variant.  When the combined
     length is zero the trajectories are degenerate points; the distance is 0
     if the raw EDwP is 0 and ``inf`` otherwise.
     """
-    raw = edwp(t1, t2)
-    denom = t1.length + t2.length
-    if denom <= 0.0:
-        return 0.0 if raw == 0.0 else math.inf
-    return raw / denom
+    return _normalize(edwp(t1, t2, backend=backend), t1.length + t2.length)
+
+
+def edwp_many(
+    query: Trajectory,
+    trajectories: Sequence[Trajectory],
+    normalized: bool = False,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List[float]:
+    """(Normalized) EDwP of one query against many trajectories.
+
+    The batched entry point of the distance: on the ``"numpy"`` backend the
+    whole batch runs through the lockstep kernel
+    (:func:`repro.core.edwp_fast.edwp_many_numpy`), amortizing both the
+    per-diagonal numpy dispatch and each trajectory's coordinate conversion
+    (cached on the instance by :meth:`Trajectory.coords`); on ``"python"``
+    it is a plain loop.  TrajTree leaf refinement and the scan oracles route
+    through this.
+
+    ``workers`` (optional) fans the batch out over that many threads.
+    Worthwhile for multi-query driver loops on large batches; within one
+    process the GIL limits the gain, so it is off by default.
+
+    Returns one distance per input trajectory, in order, with the same
+    base-case semantics as :func:`edwp` / :func:`edwp_avg` per pair.
+    """
+    resolved = _resolve_backend(backend)
+    trajectories = list(trajectories)
+    if workers is not None and workers > 1 and len(trajectories) > 1:
+        shard = math.ceil(len(trajectories) / workers)
+        parts = [
+            trajectories[i:i + shard]
+            for i in range(0, len(trajectories), shard)
+        ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = pool.map(
+                lambda part: edwp_many(
+                    query, part, normalized=normalized, backend=resolved
+                ),
+                parts,
+            )
+        return [d for part in results for d in part]
+
+    if resolved == "numpy" and query.num_segments > 0 and trajectories:
+        raw = edwp_fast.edwp_many_numpy(query, trajectories)
+    else:
+        raw = [edwp(query, t, backend=resolved) for t in trajectories]
+    if not normalized:
+        return raw
+    q_len = query.length
+    return [_normalize(r, q_len + t.length) for r, t in zip(raw, trajectories)]
 
 
 def edwp_alignment(t1: Trajectory, t2: Trajectory) -> EdwpResult:

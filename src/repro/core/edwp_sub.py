@@ -17,9 +17,10 @@ diversity with it, and tBoxSeq construction and query-time lower bounds
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from .edwp import EdwpResult, _backtrack, _edwp_dp, _spatial_points
+from . import edwp_fast
+from .edwp import EdwpResult, _backtrack, _edwp_dp, _resolve_backend, _spatial_points
 from .trajectory import Trajectory
 
 __all__ = ["edwp_sub", "edwp_sub_fast", "edwp_sub_alignment", "prefix_dist"]
@@ -34,7 +35,7 @@ def _sub_trivial(n_t: int, n_s: int) -> float | None:
     return None
 
 
-def edwp_sub(t: Trajectory, s: Trajectory) -> float:
+def edwp_sub(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> float:
     """``EDwPsub(T, S)``: cost of aligning all of ``T`` to the best
     contiguous sub-trajectory of ``S`` (Eq. 6).
 
@@ -53,6 +54,8 @@ def edwp_sub(t: Trajectory, s: Trajectory) -> float:
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
+    if _resolve_backend(backend) == "numpy":
+        return edwp_fast.edwp_sub_numpy(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     free, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=True)
@@ -60,7 +63,7 @@ def edwp_sub(t: Trajectory, s: Trajectory) -> float:
     return min(min(free[len(p1) - 1]), min(anchored[len(p1) - 1]))
 
 
-def edwp_sub_fast(t: Trajectory, s: Trajectory) -> float:
+def edwp_sub_fast(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> float:
     """Single-pass EDwPsub (free-start DP only).
 
     Half the cost of :func:`edwp_sub`; the value can exceed the two-pass
@@ -71,18 +74,22 @@ def edwp_sub_fast(t: Trajectory, s: Trajectory) -> float:
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
+    if _resolve_backend(backend) == "numpy":
+        return edwp_fast.edwp_sub_fast_numpy(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     free, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=True)
     return min(free[len(p1) - 1])
 
 
-def prefix_dist(t: Trajectory, s: Trajectory) -> float:
+def prefix_dist(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> float:
     """``PrefixDist(T, S)`` (Eq. 5): align all of ``T`` with a *prefix* of
     ``S``, skipping any suffix of ``S`` for free."""
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
+    if _resolve_backend(backend) == "numpy":
+        return edwp_fast.prefix_dist_numpy(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     cost, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=False)

@@ -115,7 +115,7 @@ class Trajectory:
         When true (default), reject NaNs and decreasing timestamps.
     """
 
-    __slots__ = ("data", "traj_id", "label")
+    __slots__ = ("data", "traj_id", "label", "_coords")
 
     def __init__(
         self,
@@ -145,6 +145,7 @@ class Trajectory:
         self.data = arr if arr.shape[0] > 0 else np.empty((0, 3), dtype=np.float64)
         self.traj_id = traj_id
         self.label = label
+        self._coords = None
 
     # ------------------------------------------------------------------ #
     # basic container protocol
@@ -178,6 +179,25 @@ class Trajectory:
         ident = "" if self.traj_id is None else f" id={self.traj_id}"
         lab = "" if self.label is None else f" label={self.label!r}"
         return f"Trajectory(n={len(self)}{ident}{lab})"
+
+    def __getstate__(self):
+        # The coordinate cache is derived data: dropping it keeps pickles
+        # (index snapshots) lean and rebuilds lazily after load.
+        return (self.data, self.traj_id, self.label)
+
+    def __setstate__(self, state) -> None:
+        if len(state) == 2 and isinstance(state[1], dict):
+            # Legacy pickles (pre coordinate-cache) carry the default slots
+            # state ``(None, {slot: value})``.  Accept it so old index
+            # snapshots decode far enough to reach the persistence layer's
+            # version check instead of dying inside pickle.load.
+            slots = state[1]
+            self.data = slots["data"]
+            self.traj_id = slots.get("traj_id")
+            self.label = slots.get("label")
+        else:
+            self.data, self.traj_id, self.label = state
+        self._coords = None
 
     # ------------------------------------------------------------------ #
     # segment access
@@ -304,6 +324,22 @@ class Trajectory:
     def spatial(self) -> np.ndarray:
         """``(n, 2)`` view of the spatial coordinates."""
         return self.data[:, :2]
+
+    def coords(self) -> np.ndarray:
+        """Cached *contiguous* ``(n, 2)`` float64 spatial matrix.
+
+        The copy (``data`` has row stride 3, so ``spatial()`` is never
+        contiguous) is made once per instance and reused; the numpy EDwP
+        backend and the batch query APIs read trajectories through this, so
+        repeated distances against the same trajectory amortize the
+        conversion.  Treat the returned array as read-only: ``Trajectory``
+        data is immutable by convention and the cache is never invalidated.
+        """
+        cached = self._coords
+        if cached is None:
+            cached = np.ascontiguousarray(self.data[:, :2], dtype=np.float64)
+            self._coords = cached
+        return cached
 
     def times(self) -> np.ndarray:
         """``(n,)`` view of the timestamps."""

@@ -1,8 +1,8 @@
 """Experiment drivers — one module per paper table/figure.
 
 These produce the data rows; ``benchmarks/`` wraps them in pytest-benchmark
-targets and ``python -m repro`` prints them interactively.  EXPERIMENTS.md
-records the paper-vs-measured comparison for each.
+targets and ``python -m repro`` prints them interactively.  README.md's
+benchmark matrix maps each to its paper figure.
 """
 
 from .common import (

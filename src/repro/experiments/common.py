@@ -2,7 +2,8 @@
 
 Centralizes the choices every figure needs: which metrics to compare, how to
 derive the EDR/LCSS threshold from a dataset, and the reduced database
-scales the pure-Python reproduction runs at (recorded in EXPERIMENTS.md).
+scales the pure-Python reproduction runs at (recorded in README.md's
+benchmark matrix).
 """
 
 from __future__ import annotations

@@ -88,8 +88,8 @@ def robustness_sweep(
 
     ``vary`` is ``"k"`` (Figs. 5b/d/f/h: noise fixed at ``fixed_noise``) or
     ``"n"`` (Figs. 5c/e/g/i: k fixed at ``fixed_k``).  Database sizes and
-    query counts default to laptop scale; EXPERIMENTS.md records the scales
-    used for the shipped results.
+    query counts default to laptop scale; README.md's benchmark matrix
+    records the scales used for the shipped results.
     """
     clean = beijing_database(db_size, seed=seed)
     result = SweepResult(protocol=protocol,

@@ -36,7 +36,7 @@ def run_fig5a(
 
     The full 98-class corpus is generated once; each cell draws ``repeats``
     random subsets of ``c`` classes (the paper repeats 100x with 10 folds;
-    the defaults scale that down — see EXPERIMENTS.md).
+    the defaults scale that down — see README.md's benchmark matrix).
     """
     dataset = generate_asl(
         num_classes=max(class_counts),

@@ -5,7 +5,7 @@ EDR filter-and-refine index on uniformly re-interpolated data (EDR-I, the
 paper's indexed comparator) and an MA sequential scan — plus the build-time
 and θ-sensitivity studies.
 
-All timings run at reduced, documented database scales (EXPERIMENTS.md):
+All timings run at reduced, documented database scales (README.md):
 absolute seconds are not comparable with the paper's Java testbed, but the
 orderings and growth shapes are the reproduction targets.
 """

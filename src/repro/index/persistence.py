@@ -26,7 +26,8 @@ PathLike = Union[str, Path]
 
 _MAGIC = "repro-trajtree"
 #: bumped together with the package version when index layout changes
-_FORMAT_VERSION = "1.0.0"
+#: (1.1.0: TrajTree.backend attribute + Trajectory coordinate-cache slot)
+_FORMAT_VERSION = "1.1.0"
 
 
 def _fingerprint(tree: TrajTree) -> dict:

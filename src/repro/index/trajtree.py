@@ -28,11 +28,12 @@ import heapq
 import itertools
 import math
 import random
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.edwp import edwp
-from ..core.edwp_sub import edwp_sub
+from ..core.edwp import _normalize, edwp, edwp_many
+from ..core.edwp_sub import edwp_sub, edwp_sub_fast
 from ..core.geometry import polyline_rect_distance
 from ..core.trajectory import Trajectory
 from .partition import partition
@@ -126,6 +127,13 @@ class TrajTree:
         bound (already tight, Fig. 6c) does the work and deeper refinement
         mostly re-pays exact distances.  Set to a large value for the
         paper's literal behaviour.
+    backend:
+        EDwP backend for exact distances and build-time pivot selection
+        (``"python"`` / ``"numpy"``); ``None`` (default) follows the global
+        :func:`repro.core.set_backend` choice.  Leaf refinement and the
+        scan oracles batch their exact distances through
+        :func:`repro.core.edwp_many`, so the numpy backend's lockstep
+        kernel applies there wholesale.
     seed:
         Seeds pivot/VP selection; builds are deterministic given a seed.
     rebuild_ratio:
@@ -145,6 +153,7 @@ class TrajTree:
         max_branching: int = 16,
         vp_levels: int = 1,
         use_quick_bound: bool = True,
+        backend: Optional[str] = None,
         seed: int = 0,
         rebuild_ratio: float = 0.3,
     ):
@@ -161,6 +170,7 @@ class TrajTree:
         self.max_branching = max_branching
         self.vp_levels = vp_levels
         self.use_quick_bound = use_quick_bound
+        self.backend = backend
         self.seed = seed
         self.rebuild_ratio = rebuild_ratio
 
@@ -201,6 +211,7 @@ class TrajTree:
             theta=self.theta,
             min_node_size=self.min_node_size,
             rng=self._rng,
+            distance=self._pivot_distance,
             max_boxes=self.max_boxes,
             max_pivots=self.max_branching,
         )
@@ -300,14 +311,26 @@ class TrajTree:
     # distances and bounds
     # ------------------------------------------------------------------ #
 
+    def _pivot_distance(self, a: Trajectory, b: Trajectory) -> float:
+        """Build-time diversity distance (Alg. 1), on this tree's backend."""
+        return edwp_sub_fast(a, b, backend=self.backend)
+
     def _exact(self, query: Trajectory, traj: Trajectory) -> float:
-        d = edwp(query, traj)
+        d = edwp(query, traj, backend=self.backend)
         if not self.normalized:
             return d
-        denom = query.length + traj.length
-        if denom <= 0.0:
-            return 0.0 if d == 0.0 else math.inf
-        return d / denom
+        return _normalize(d, query.length + traj.length)
+
+    def _exact_many(
+        self, query: Trajectory, traj_ids: Sequence[int]
+    ) -> List[float]:
+        """Batched exact distances (leaf refinement / scan oracles)."""
+        return edwp_many(
+            query,
+            [self._db[tid] for tid in traj_ids],
+            normalized=self.normalized,
+            backend=self.backend,
+        )
 
     def _bound(self, query: Trajectory, node: _Node) -> float:
         lb = edwp_sub_box(query, node.boxseq)
@@ -372,16 +395,18 @@ class TrajTree:
         def kth() -> float:
             return -ans[0][0] if len(ans) >= k else math.inf
 
-        def offer(tid: int) -> None:
-            if tid in processed:
-                return
+        def offer_value(tid: int, d: float) -> None:
             processed.add(tid)
             stats.exact_computations += 1
-            d = self._exact(query, self._db[tid])
             if len(ans) < k:
                 heapq.heappush(ans, (-d, -tid))
             elif (d, tid) < (-ans[0][0], -ans[0][1]):
                 heapq.heapreplace(ans, (-d, -tid))
+
+        def offer(tid: int) -> None:
+            if tid in processed:
+                return
+            offer_value(tid, self._exact(query, self._db[tid]))
 
         while cands:
             bound, _, node = heapq.heappop(cands)
@@ -401,9 +426,11 @@ class TrajTree:
                     offer(tid)
 
             if node.is_leaf:
-                # Exact distances for the few remaining members.
-                for tid in node.member_ids:
-                    offer(tid)
+                # Exact distances for the few remaining members, batched so
+                # the numpy backend's lockstep kernel covers the whole leaf.
+                fresh = [t for t in node.member_ids if t not in processed]
+                for tid, d in zip(fresh, self._exact_many(query, fresh)):
+                    offer_value(tid, d)
                 continue
 
             # Step 2 (lines 11-13): enqueue children that can still matter.
@@ -426,10 +453,31 @@ class TrajTree:
                         key=lambda x: (x[1], x[0]))
         return [(tid, d) for tid, d in result]
 
+    def knn_batch(
+        self,
+        queries: Sequence[Trajectory],
+        k: int,
+        workers: Optional[int] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """:meth:`knn` for a batch of queries; one result list per query.
+
+        Equivalent to ``[self.knn(q, k) for q in queries]``.  ``workers``
+        (optional) fans the queries out over that many threads — the tree is
+        read-only during queries, so concurrent searches are safe; within
+        one process the GIL limits the gain, so it is off by default.  For
+        per-query counters run :meth:`knn` directly with a ``stats``.
+        """
+        queries = list(queries)
+        if workers is not None and workers > 1 and len(queries) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lambda q: self.knn(q, k), queries))
+        return [self.knn(q, k) for q in queries]
+
     def knn_scan(self, query: Trajectory, k: int) -> List[Tuple[int, float]]:
         """Brute-force sequential scan (the paper's baseline and the oracle
         used by the test-suite to verify exactness)."""
-        dists = [(tid, self._exact(query, t)) for tid, t in self._db.items()]
+        ids = list(self._db)
+        dists = list(zip(ids, self._exact_many(query, ids)))
         dists.sort(key=lambda x: (x[1], x[0]))
         return dists[:k]
 
@@ -470,11 +518,13 @@ class TrajTree:
                 stats.nodes_pruned += 1
                 continue
             if node.is_leaf:
-                for tid in node.member_ids:
-                    stats.exact_computations += 1
-                    d = self._exact(query, self._db[tid])
-                    if d <= radius:
-                        out.append((tid, d))
+                ds = self._exact_many(query, node.member_ids)
+                stats.exact_computations += len(node.member_ids)
+                out.extend(
+                    (tid, d)
+                    for tid, d in zip(node.member_ids, ds)
+                    if d <= radius
+                )
             else:
                 stack.extend(node.children)
         out.sort(key=lambda x: (x[1], x[0]))
@@ -484,10 +534,11 @@ class TrajTree:
         self, query: Trajectory, radius: float
     ) -> List[Tuple[int, float]]:
         """Brute-force range-query oracle."""
+        ids = list(self._db)
         out = [
             (tid, d)
-            for tid, t in self._db.items()
-            if (d := self._exact(query, t)) <= radius
+            for tid, d in zip(ids, self._exact_many(query, ids))
+            if d <= radius
         ]
         out.sort(key=lambda x: (x[1], x[0]))
         return out
@@ -523,7 +574,7 @@ class TrajTree:
             if tid in processed:
                 return
             processed.add(tid)
-            d = edwp_sub(query, self._db[tid])
+            d = edwp_sub(query, self._db[tid], backend=self.backend)
             if len(ans) < k:
                 heapq.heappush(ans, (-d, -tid))
             elif (d, tid) < (-ans[0][0], -ans[0][1]):
@@ -551,7 +602,8 @@ class TrajTree:
     ) -> List[Tuple[int, float]]:
         """Brute-force ``EDwPsub`` oracle."""
         dists = [
-            (tid, edwp_sub(query, t)) for tid, t in self._db.items()
+            (tid, edwp_sub(query, t, backend=self.backend))
+            for tid, t in self._db.items()
         ]
         dists.sort(key=lambda x: (x[1], x[0]))
         return dists[:k]

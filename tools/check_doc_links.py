@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Fail if source docstrings/comments reference repo-root docs that don't exist.
+
+Docstrings throughout the package point the reader at repo-root markdown
+files ("see DESIGN.md", "the benchmark matrix in README.md").  Those
+references have a habit of outliving — or predating — the files they name;
+this check walks every python file under the scanned directories, collects
+every capitalized markdown-file token, and fails unless a file of that name
+exists at the repository root.
+
+Usage:  python tools/check_doc_links.py
+Exits non-zero listing each dangling reference with its file and line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose python files promise repo-root docs to their readers.
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples", "tools")
+
+_MD_TOKEN = re.compile(r"\b([A-Z][A-Za-z0-9_]*\.md)\b")
+
+
+def dangling_references() -> list[tuple[Path, int, str]]:
+    """All ``(file, line_number, token)`` referencing a missing root doc."""
+    missing: list[tuple[Path, int, str]] = []
+    for directory in SCAN_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for token in _MD_TOKEN.findall(line):
+                    if not (REPO_ROOT / token).is_file():
+                        missing.append((path.relative_to(REPO_ROOT), lineno, token))
+    return missing
+
+
+def main() -> int:
+    missing = dangling_references()
+    if missing:
+        print("dangling repo-root doc references:", file=sys.stderr)
+        for path, lineno, token in missing:
+            print(f"  {path}:{lineno}: {token}", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({', '.join(SCAN_DIRS)} -> repo root)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
