@@ -1,7 +1,21 @@
-"""Tables I/II + Fig. 1 scenarios — empirical feature matrix and anchors."""
+"""Tables I/II + Fig. 1 scenarios — empirical feature matrix and anchors.
+
+Also hosts the acceptance gate of the batched baseline distance-matrix
+engine: the Table-1/Fig-5 harnesses are pairwise-matrix workloads, so the
+contract (>= 5x batched numpy vs the per-pair pure-Python reference,
+deviation < 1e-9 — DESIGN.md, "Baseline kernels") is asserted here on the
+matrix they actually build.
+"""
+
+import math
+import time
+
+import numpy as np
 
 from conftest import emit
 
+from repro.baselines import dtw, pairwise_matrix
+from repro.core import Trajectory
 from repro.experiments import run_table1
 
 
@@ -26,3 +40,60 @@ def test_table1_feature_matrix(benchmark, results_dir):
     assert abs(result.anchors["example4_edwpsub_t2_t1"] - 80.0) < 1e-9
     assert result.probes["EDwP"]["inter"].handled
     assert result.probes["EDwP"]["phase"].handled
+
+
+def test_pairwise_matrix_speedup_and_accuracy(results_dir):
+    """Acceptance gate of the batched matrix engine: ``pairwise_matrix``
+    over 200 trajectories with ``metric="dtw", backend="numpy"`` must be
+    >= 5x faster than the per-pair pure-Python reference loop, with max
+    deviation < 1e-9."""
+    rng = np.random.default_rng(42)
+    trajs = [
+        Trajectory.from_xy(
+            rng.normal(0, 5, (int(rng.integers(15, 26)), 2)).cumsum(axis=0)
+        )
+        for _ in range(200)
+    ]
+    for t in trajs:
+        t.coords()                  # warm the coordinate caches for both
+
+    def best_of(fn, repeats):
+        """Min-of-N wall clock: robust to noisy-neighbor CI runners."""
+        best = math.inf
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    pairwise_matrix(trajs[:8], "dtw", backend="numpy")      # warm numpy
+    numpy_secs, mat = best_of(
+        lambda: pairwise_matrix(trajs, "dtw", backend="numpy"), repeats=3)
+
+    def reference():
+        n = len(trajs)
+        out = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                out[i, j] = out[j, i] = dtw(trajs[i], trajs[j],
+                                            backend="python")
+        return out
+
+    # a single reference pass: ~20k pure-Python DPs is seconds-scale
+    python_secs, ref = best_of(reference, repeats=1)
+
+    deviation = float(np.abs(mat - ref).max())
+    speedup = python_secs / numpy_secs
+    emit(
+        results_dir,
+        "pairwise_matrix_gate",
+        "Batched DTW matrix engine vs per-pair reference (200 trajectories)",
+        f"python {python_secs:.2f}s, numpy {numpy_secs:.3f}s "
+        f"-> {speedup:.1f}x, max abs deviation {deviation:.2e}",
+    )
+    assert deviation < 1e-9
+    assert speedup >= 5.0, (
+        f"batched matrix engine only {speedup:.1f}x faster than the "
+        f"per-pair reference loop"
+    )

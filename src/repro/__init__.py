@@ -10,17 +10,21 @@ The package provides:
   :func:`~repro.core.edwp_sub.edwp_sub`.
 * ``repro.index`` — the TrajTree index (Sec. IV): st-boxes, tBoxSeqs, pivot
   partitioning, vantage points and exact k-NN querying.
-* ``repro.baselines`` — DTW, LCSS, ERP, EDR, DISSIM, MA, Lp and an EDR
-  filter-and-refine index (the paper's comparators).
+* ``repro.baselines`` — DTW, LCSS, ERP, EDR, DISSIM, MA, Lp, Fréchet,
+  Hausdorff and an EDR filter-and-refine index (the paper's comparators),
+  each dual-backend, plus the batched distance-matrix engine
+  (:func:`~repro.baselines.matrix.pairwise_matrix` /
+  :func:`~repro.baselines.matrix.cross_matrix`).
 * ``repro.datasets`` — synthetic Beijing-taxi and ASL-sign workloads, the
   Sec. V noise protocols, trip splitting and uniform re-interpolation.
 * ``repro.eval`` — classification, robustness, UB-factor and feature-matrix
   harnesses regenerating every table and figure (see the benchmark matrix
   in README.md).
 
-Distances run on one of two interchangeable backends — the pure-Python
-reference DP or the vectorized numpy kernel (``set_backend("numpy")``);
-DESIGN.md documents the contract between them.
+Every distance runs on one of two interchangeable backends — the
+pure-Python reference DPs or the vectorized numpy kernels
+(``set_backend("numpy")``); DESIGN.md documents the contract between
+them ("Dual-backend EDwP kernels" and "Baseline kernels").
 
 Quickstart::
 
@@ -52,6 +56,7 @@ from .core import (
 )
 from .core.edwp_sub import edwp_sub, edwp_sub_alignment, prefix_dist
 from .index import STBox, TBoxSeq, TrajTree, edwp_sub_box
+from .baselines import cross_matrix, pairwise_matrix
 
 __version__ = "1.0.0"
 
@@ -75,5 +80,7 @@ __all__ = [
     "TBoxSeq",
     "TrajTree",
     "edwp_sub_box",
+    "cross_matrix",
+    "pairwise_matrix",
     "__version__",
 ]

@@ -1,35 +1,47 @@
 """Baseline trajectory distance functions the paper compares against.
 
-All six comparators of Table I plus the basic Lp model and the EDR
-filter-and-refine index used in the retrieval benchmarks (Figs. 5j, 6a).
+All six comparators of Table I plus the basic Lp model, the discrete
+Fréchet and Hausdorff shape measures, the EDR filter-and-refine index used
+in the retrieval benchmarks (Figs. 5j, 6a) — and, since the family went
+dual-backend, the batched plumbing: per-metric ``*_many`` entry points,
+the vectorized kernels (:mod:`repro.baselines.fast`) and the distance-
+matrix engine (:func:`pairwise_matrix` / :func:`cross_matrix`).  See
+DESIGN.md, "Baseline kernels".
 """
 
-from .dtw import dtw
-from .lcss import lcss, lcss_distance, lcss_length
-from .erp import erp
-from .edr import edr, edr_normalized
+from .dtw import dtw, dtw_many
+from .lcss import lcss, lcss_distance, lcss_distance_many, lcss_length
+from .erp import erp, erp_many
+from .edr import edr, edr_many, edr_normalized, edr_normalized_many
 from .dissim import dissim
 from .ma import ma, MAParams
 from .lp import lp_norm
-from .frechet import discrete_frechet
+from .frechet import discrete_frechet, frechet_many
 from .hausdorff import directed_hausdorff, hausdorff
 from .edr_index import EDRIndex
 from .dtw_index import DTWIndex, lb_keogh, lb_kim
 from .registry import DistanceSpec, get_distance, list_distances
+from .matrix import cross_matrix, pairwise_matrix
 
 __all__ = [
     "dtw",
+    "dtw_many",
     "lcss",
     "lcss_distance",
+    "lcss_distance_many",
     "lcss_length",
     "erp",
+    "erp_many",
     "edr",
+    "edr_many",
     "edr_normalized",
+    "edr_normalized_many",
     "dissim",
     "ma",
     "MAParams",
     "lp_norm",
     "discrete_frechet",
+    "frechet_many",
     "directed_hausdorff",
     "hausdorff",
     "EDRIndex",
@@ -39,4 +51,6 @@ __all__ = [
     "DistanceSpec",
     "get_distance",
     "list_distances",
+    "cross_matrix",
+    "pairwise_matrix",
 ]

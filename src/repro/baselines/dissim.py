@@ -12,27 +12,38 @@ appear similar — exactly the weakness Table I records.
 The integral is evaluated with the trapezoidal rule over the union of both
 timestamp sets (the distance is piecewise smooth between those breakpoints),
 optionally refined with extra midpoints.
+
+Complexity ``O((|T1| + |T2|) * refine)``.  Dual-backend: the per-breakpoint
+:meth:`~repro.core.trajectory.Trajectory.point_at_time` loop below is the
+``"python"`` reference and test oracle; the ``"numpy"`` backend evaluates
+every breakpoint position in one vectorized interpolation pass
+(:mod:`repro.baselines.fast`) — a closed form, no DP (see DESIGN.md,
+"Baseline kernels").
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
+from . import fast
 
 __all__ = ["dissim"]
 
 
-def dissim(t1: Trajectory, t2: Trajectory, refine: int = 1) -> float:
+def dissim(t1: Trajectory, t2: Trajectory, refine: int = 1,
+           backend: Optional[str] = None) -> float:
     """DISSIM distance over the common time span of the trajectories.
 
     ``refine`` adds that many evenly spaced evaluation points inside every
     breakpoint interval (1 by default: the interval midpoint), improving the
-    trapezoid accuracy where the distance curve bends.
+    trapezoid accuracy where the distance curve bends.  ``backend``
+    overrides the global :func:`repro.core.set_backend` choice.
 
     Returns ``inf`` if either trajectory is empty; 0 if the common time span
     is a single instant and the positions coincide.
@@ -48,6 +59,9 @@ def dissim(t1: Trajectory, t2: Trajectory, refine: int = 1) -> float:
         p1 = t1.point_at_time(start)
         p2 = t2.point_at_time(start)
         return point_distance(p1.xy, p2.xy)
+
+    if resolve_backend(backend) == "numpy":
+        return fast.dissim_numpy(t1, t2, refine)
 
     breaks = np.union1d(t1.times(), t2.times())
     breaks = breaks[(breaks >= start) & (breaks <= end)]

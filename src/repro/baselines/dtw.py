@@ -5,26 +5,39 @@ monotone mapping and sums the Euclidean distances of matched pairs.  It
 handles local time shifts (Table I) but is threshold-free only in the sense
 of having no matching tolerance: every point must be matched, so it is
 sensitive to sampling-rate variation — the weakness the paper's EDwP fixes.
+
+Complexity ``O(|T1| * |T2|)`` (``O(window * max(|T1|, |T2|))`` banded).
+Dual-backend: the cell loop below is the ``"python"`` reference and test
+oracle; the ``"numpy"`` backend runs the anti-diagonal lockstep kernel
+(:mod:`repro.baselines.fast`), identical to float tolerance.  Use
+:func:`dtw_many` for one-query-vs-many batches — that is where the
+vectorized backend pays off (see DESIGN.md, "Baseline kernels").
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional, Sequence
 
+from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
+from . import fast
 
-__all__ = ["dtw"]
+__all__ = ["dtw", "dtw_many"]
 
 
-def dtw(t1: Trajectory, t2: Trajectory, window: int = 0) -> float:
+def dtw(t1: Trajectory, t2: Trajectory, window: int = 0,
+        backend: Optional[str] = None) -> float:
     """DTW distance over the sampled st-points.
 
     Parameters
     ----------
     window:
         Sakoe-Chiba band half-width; 0 (default) means unconstrained.
+    backend:
+        ``"python"`` / ``"numpy"`` override of the global
+        :func:`repro.core.set_backend` choice.
 
     Returns ``inf`` when exactly one trajectory is empty and 0 when both are.
     """
@@ -33,6 +46,8 @@ def dtw(t1: Trajectory, t2: Trajectory, window: int = 0) -> float:
         return 0.0
     if n == 0 or m == 0:
         return math.inf
+    if resolve_backend(backend) == "numpy":
+        return fast.dtw_numpy(t1, t2, window)
 
     p1 = [(row[0], row[1]) for row in t1.data]
     p2 = [(row[0], row[1]) for row in t2.data]
@@ -56,3 +71,20 @@ def dtw(t1: Trajectory, t2: Trajectory, window: int = 0) -> float:
             cur[j] = d + best
         prev = cur
     return prev[m]
+
+
+def dtw_many(query: Trajectory, trajectories: Sequence[Trajectory],
+             window: int = 0, backend: Optional[str] = None) -> List[float]:
+    """DTW of one query against many trajectories.
+
+    On the ``"numpy"`` backend the whole batch runs through the lockstep
+    anti-diagonal kernel (targets chunked length-sorted, answers read at
+    each pair's own corner cell); on ``"python"`` it is a plain loop.
+    Feeds the batched matrix engine (:mod:`repro.baselines.matrix`).
+    """
+    resolved = resolve_backend(backend)
+    trajectories = list(trajectories)
+    if resolved == "numpy" and len(query) > 0 and trajectories:
+        return fast.dtw_many_numpy(query, trajectories, window)
+    return [dtw(query, t, window=window, backend=resolved)
+            for t in trajectories]

@@ -4,47 +4,57 @@ ERP marries Lp-norms with edit distance: a matched pair costs their real
 Euclidean distance, and a gap costs the distance to a fixed *gap point*
 ``g``.  Unlike DTW it is a metric (triangle inequality holds), but like all
 point-based measures it assumes consistent sampling.
+
+Complexity ``O(|T1| * |T2|)``.  Dual-backend: the cell DP below is the
+``"python"`` reference and test oracle; the ``"numpy"`` backend runs the
+anti-diagonal lockstep kernel (:mod:`repro.baselines.fast`) with the gap
+prefix sums accumulated in the reference's order.  :func:`erp_many`
+batches one query against many targets (see DESIGN.md, "Baseline
+kernels").
 """
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
+from . import fast
 
-__all__ = ["erp"]
+__all__ = ["erp", "erp_many"]
 
 
 def erp(
     t1: Trajectory,
     t2: Trajectory,
     gap: Optional[Sequence[float]] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """ERP distance over sampled points.
 
     ``gap`` is the reference gap point ``g``; the original paper uses the
     origin, which is the default.  Empty-vs-empty is 0; a single empty side
     costs the sum of gap distances of the other side (the ERP base case).
+    ``backend`` overrides the global :func:`repro.core.set_backend` choice.
     """
     n, m = len(t1), len(t2)
     g: Tuple[float, float] = (0.0, 0.0) if gap is None else (gap[0], gap[1])
+    if n == 0 and m == 0:
+        return 0.0
+    if n > 0 and m > 0 and resolve_backend(backend) == "numpy":
+        return fast.erp_numpy(t1, t2, g)
+
     p1 = [(row[0], row[1]) for row in t1.data]
     p2 = [(row[0], row[1]) for row in t2.data]
     gap1 = [point_distance(p, g) for p in p1]
     gap2 = [point_distance(p, g) for p in p2]
 
-    if n == 0 and m == 0:
-        return 0.0
     if n == 0:
         return float(sum(gap2))
     if m == 0:
         return float(sum(gap1))
 
-    inf = math.inf
     prev: List[float] = [0.0] * (m + 1)
     for j in range(1, m + 1):
         prev[j] = prev[j - 1] + gap2[j - 1]
@@ -65,3 +75,16 @@ def erp(
             cur[j] = best
         prev = cur
     return prev[m]
+
+
+def erp_many(query: Trajectory, trajectories: Sequence[Trajectory],
+             gap: Optional[Sequence[float]] = None,
+             backend: Optional[str] = None) -> List[float]:
+    """ERP of one query against many trajectories, batched on the
+    ``"numpy"`` backend through the lockstep kernel."""
+    resolved = resolve_backend(backend)
+    trajectories = list(trajectories)
+    g: Tuple[float, float] = (0.0, 0.0) if gap is None else (gap[0], gap[1])
+    if resolved == "numpy" and len(query) > 0 and trajectories:
+        return fast.erp_many_numpy(query, trajectories, g)
+    return [erp(query, t, gap=gap, backend=resolved) for t in trajectories]

@@ -3,25 +3,35 @@
 Points are paired index-by-index (the shorter trajectory is padded by
 repeating its last point).  Fast and simple, but local time shifts and any
 sampling-rate difference corrupt it — the motivating failure of Sec. I.
+
+Complexity ``O(max(|T1|, |T2|))``.  The implementation is a single numpy
+expression, so both backends share it: ``backend=`` is accepted (and
+validated) for registry uniformity but selects nothing (see DESIGN.md,
+"Baseline kernels").
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
+from ..core.edwp import resolve_backend
 from ..core.trajectory import Trajectory
 
 __all__ = ["lp_norm"]
 
 
-def lp_norm(t1: Trajectory, t2: Trajectory, p: float = 2.0) -> float:
+def lp_norm(t1: Trajectory, t2: Trajectory, p: float = 2.0,
+            backend: Optional[str] = None) -> float:
     """One-to-one Lp distance over sampled points.
 
     ``p`` is the norm order (2 = Euclidean aggregation).  Empty-vs-empty is
-    0; one empty side is ``inf``.
+    0; one empty side is ``inf``.  Already vectorized — ``backend`` is
+    validated but both names run the same code.
     """
+    resolve_backend(backend)        # validate the name; one implementation
     n, m = len(t1), len(t2)
     if n == 0 and m == 0:
         return 0.0

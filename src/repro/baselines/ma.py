@@ -17,6 +17,13 @@ because the interpolated target is chosen per cell by spatial proximity.
 
 The value returned is a *distance* (lower = more similar): the assignment
 cost of the optimal alignment, averaged over the aligned points.
+
+Complexity ``O(|T1| * |T2|)``.  MA is the one comparator with a single
+(pure-Python) implementation — its per-cell projection-and-threshold logic
+is not worth a vectorized twin — and the one *asymmetric* registry metric
+(T1's samples align onto T2's interpolations, not vice versa; the batched
+matrix engine consults ``DistanceSpec.symmetric`` accordingly).  See
+DESIGN.md, "Baseline kernels".
 """
 
 from __future__ import annotations

@@ -9,42 +9,106 @@ special-cases individual metrics.
 Threshold-dependent metrics (EDR, LCSS) need a dataset-dependent ``eps``;
 :func:`get_distance` accepts overrides, and the harnesses derive ``eps``
 from the data scale the way the source papers suggest (a fraction of the
-coordinate standard deviation).
+coordinate standard deviation).  Parameters that a metric does not accept
+raise ``TypeError`` (listing the valid names) instead of being silently
+ignored.
+
+Every spec also records its *batched capability*: metrics with a lockstep
+one-query-vs-many kernel expose it as :attr:`DistanceSpec.many`, which the
+batched matrix engine (:mod:`repro.baselines.matrix`) and the k-NN
+harnesses (:mod:`repro.eval.knn`) use to amortize numpy dispatch across a
+whole batch.  ``backend`` pins any spec to one DP backend; the default
+(``None``) follows the global :func:`repro.core.set_backend` choice at
+call time, which is how the CLI's ``--backend`` reaches every metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional, Sequence
 
-from ..core.edwp import edwp, edwp_avg
+from ..core.edwp import edwp, edwp_avg, edwp_many, resolve_backend
 from ..core.trajectory import Trajectory
 from .dissim import dissim
-from .dtw import dtw
-from .edr import edr_normalized
-from .erp import erp
-from .frechet import discrete_frechet
+from .dtw import dtw, dtw_many
+from .edr import edr_normalized, edr_normalized_many
+from .erp import erp, erp_many
+from .frechet import discrete_frechet, frechet_many
 from .hausdorff import hausdorff
-from .lcss import lcss_distance
+from .lcss import lcss_distance, lcss_distance_many
 from .lp import lp_norm
 from .ma import MAParams, ma
 
 __all__ = ["DistanceSpec", "get_distance", "list_distances"]
 
 DistanceFn = Callable[[Trajectory, Trajectory], float]
+ManyFn = Callable[[Trajectory, Sequence[Trajectory]], List[float]]
 
 
 @dataclass(frozen=True)
 class DistanceSpec:
-    """A named, ready-to-call distance function."""
+    """A named, ready-to-call distance function.
+
+    Attributes
+    ----------
+    fn:
+        The pairwise ``(Trajectory, Trajectory) -> float`` callable, with
+        any ``eps``/parameter overrides and the ``backend`` pin bound in.
+    many:
+        Batched form — one query against a sequence of targets, returning
+        one distance per target.  ``None`` for metrics without a lockstep
+        kernel (the matrix engine falls back to a ``fn`` loop).
+    symmetric:
+        Whether ``fn(a, b) == fn(b, a)``; MA is the one asymmetric
+        registry metric.  :func:`repro.baselines.matrix.pairwise_matrix`
+        mirrors the upper triangle only when this holds.
+    """
 
     name: str
     fn: DistanceFn
     threshold_free: bool
     description: str
+    many: Optional[ManyFn] = None
+    symmetric: bool = True
+
+    @property
+    def batched(self) -> bool:
+        """Whether the spec carries a lockstep one-vs-many kernel."""
+        return self.many is not None
 
     def __call__(self, t1: Trajectory, t2: Trajectory) -> float:
         return self.fn(t1, t2)
+
+
+#: Which optional parameters each registry name consumes (``backend`` is
+#: universal).  ``get_distance`` rejects anything else with ``TypeError``.
+_VALID_PARAMS = {
+    "edwp": ("backend",),
+    "edwp_avg": ("backend",),
+    "edwp_raw": ("backend",),
+    "edr": ("eps", "backend"),
+    "lcss": ("eps", "backend"),
+    "dtw": ("backend",),
+    "erp": ("backend",),
+    "dissim": ("backend",),
+    "ma": ("ma_params", "backend"),
+    "lp": ("backend",),
+    "lp_norm": ("backend",),
+    "l2": ("backend",),
+    "frechet": ("backend",),
+    "hausdorff": ("backend",),
+}
+
+
+def _reject_unused(key: str, name: str, **supplied) -> None:
+    """Raise ``TypeError`` for parameters the metric does not consume."""
+    valid = _VALID_PARAMS[key]
+    unused = [p for p, v in supplied.items() if v is not None and p not in valid]
+    if unused:
+        raise TypeError(
+            f"distance {name!r} does not accept {', '.join(sorted(unused))}; "
+            f"valid parameters for {name!r}: {', '.join(valid)}"
+        )
 
 
 def get_distance(
@@ -56,55 +120,88 @@ def get_distance(
     """Build a distance spec by name.
 
     Names (case-insensitive): ``edwp``, ``edwp_raw``, ``edr``, ``lcss``,
-    ``dtw``, ``erp``, ``dissim``, ``ma``, ``lp``.
+    ``dtw``, ``erp``, ``dissim``, ``ma``, ``lp``, ``frechet``,
+    ``hausdorff``.
 
-    ``eps`` parameterizes EDR/LCSS (required for those two); ``ma_params``
-    overrides the MA model parameters.  ``backend`` pins the EDwP variants
-    to one DP backend (``"python"`` / ``"numpy"``); by default they follow
-    the global :func:`repro.core.set_backend` choice.
+    ``eps`` parameterizes EDR/LCSS (required for those two, rejected with
+    ``TypeError`` elsewhere); ``ma_params`` overrides the MA model
+    parameters (MA only).  ``backend`` pins the spec — pairwise *and*
+    batched forms — to one DP backend (``"python"`` / ``"numpy"``); by
+    default both follow the global :func:`repro.core.set_backend` choice
+    at call time.  Exception: MA and Lp have a single implementation, so
+    for them the name is validated (uniform pinning across a metric set
+    stays legal) but selects nothing — MA always runs the pure-Python DP
+    (see DESIGN.md, "Baseline kernels").
     """
     key = name.lower()
+    if key not in _VALID_PARAMS:
+        raise KeyError(f"unknown distance: {name!r}")
+    _reject_unused(key, name, eps=eps, ma_params=ma_params)
+    if backend is not None:
+        resolve_backend(backend)        # fail fast on a bad backend name
+
     if key in ("edwp", "edwp_avg"):
         return DistanceSpec(
             "EDwP", lambda a, b: edwp_avg(a, b, backend=backend), True,
-            "Edit Distance with Projections, length-normalized (Eq. 4)")
+            "Edit Distance with Projections, length-normalized (Eq. 4)",
+            many=lambda q, ts: edwp_many(q, ts, normalized=True,
+                                         backend=backend))
     if key == "edwp_raw":
         return DistanceSpec(
             "EDwP-raw", lambda a, b: edwp(a, b, backend=backend), True,
-            "Edit Distance with Projections, cumulative")
+            "Edit Distance with Projections, cumulative",
+            many=lambda q, ts: edwp_many(q, ts, backend=backend))
     if key == "edr":
         if eps is None:
             raise ValueError("EDR requires eps")
         return DistanceSpec(
-            "EDR", lambda a, b: edr_normalized(a, b, eps), False,
-            f"Edit Distance on Real sequence, eps={eps:g}")
+            "EDR", lambda a, b: edr_normalized(a, b, eps, backend=backend),
+            False, f"Edit Distance on Real sequence, eps={eps:g}",
+            many=lambda q, ts: edr_normalized_many(q, ts, eps,
+                                                   backend=backend))
     if key == "lcss":
         if eps is None:
             raise ValueError("LCSS requires eps")
         return DistanceSpec(
-            "LCSS", lambda a, b: lcss_distance(a, b, eps), False,
-            f"LCSS distance, eps={eps:g}")
+            "LCSS", lambda a, b: lcss_distance(a, b, eps, backend=backend),
+            False, f"LCSS distance, eps={eps:g}",
+            many=lambda q, ts: lcss_distance_many(q, ts, eps,
+                                                  backend=backend))
     if key == "dtw":
-        return DistanceSpec("DTW", dtw, True, "Dynamic Time Warping")
+        return DistanceSpec(
+            "DTW", lambda a, b: dtw(a, b, backend=backend), True,
+            "Dynamic Time Warping",
+            many=lambda q, ts: dtw_many(q, ts, backend=backend))
     if key == "erp":
-        return DistanceSpec("ERP", erp, True,
-                            "Edit distance with Real Penalty (gap at origin)")
+        return DistanceSpec(
+            "ERP", lambda a, b: erp(a, b, backend=backend), True,
+            "Edit distance with Real Penalty (gap at origin)",
+            many=lambda q, ts: erp_many(q, ts, backend=backend))
     if key == "dissim":
-        return DistanceSpec("DISSIM", dissim, True,
-                            "Time-synchronized integral distance")
+        return DistanceSpec(
+            "DISSIM", lambda a, b: dissim(a, b, backend=backend), True,
+            "Time-synchronized integral distance")
     if key == "ma":
         params = ma_params or MAParams()
-        return DistanceSpec("MA", lambda a, b: ma(a, b, params), False,
-                            "Model-driven assignment (4 parameters)")
+        return DistanceSpec(
+            "MA", lambda a, b: ma(a, b, params), False,
+            "Model-driven assignment (4 parameters)",
+            symmetric=False)
     if key in ("lp", "lp_norm", "l2"):
-        return DistanceSpec("Lp", lp_norm, True, "One-to-one Lp norm")
+        return DistanceSpec(
+            "Lp", lambda a, b: lp_norm(a, b, backend=backend), True,
+            "One-to-one Lp norm")
     if key == "frechet":
-        return DistanceSpec("Frechet", discrete_frechet, True,
-                            "Discrete Frechet (bottleneck) distance")
+        return DistanceSpec(
+            "Frechet",
+            lambda a, b: discrete_frechet(a, b, backend=backend), True,
+            "Discrete Frechet (bottleneck) distance",
+            many=lambda q, ts: frechet_many(q, ts, backend=backend))
     if key == "hausdorff":
-        return DistanceSpec("Hausdorff", hausdorff, True,
-                            "Symmetric Hausdorff distance (order-free)")
-    raise KeyError(f"unknown distance: {name!r}")
+        return DistanceSpec(
+            "Hausdorff", lambda a, b: hausdorff(a, b, backend=backend),
+            True, "Symmetric Hausdorff distance (order-free)")
+    raise KeyError(f"unknown distance: {name!r}")   # unreachable
 
 
 def list_distances() -> List[str]:

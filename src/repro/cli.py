@@ -17,9 +17,13 @@ Every table and figure of the paper can be regenerated from the shell:
 Output is the textual equivalent of the figure: the x-axis sweep with one
 column per technique.
 
-``--backend numpy`` (before the experiment name) runs every EDwP distance
-through the vectorized kernel instead of the pure-Python reference DP —
-same numbers, less waiting on the larger sweeps.
+``--backend numpy`` (before the experiment name) runs **every** distance —
+the EDwP family and all baseline comparators (DTW, EDR, ERP, LCSS,
+Fréchet, Hausdorff, DISSIM) — through the vectorized kernels instead of
+the pure-Python reference DPs, and the harnesses batch each
+query-vs-database sweep through the lockstep kernels: same numbers, an
+order of magnitude less waiting on the larger sweeps (see DESIGN.md,
+"Baseline kernels").
 """
 
 from __future__ import annotations
@@ -60,8 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend", choices=["python", "numpy"], default=None,
-        help="EDwP backend: the pure-Python reference DP (default) or the "
-             "vectorized numpy kernel (same results, faster sweeps)",
+        help="distance backend for every metric (EDwP and all baseline "
+             "comparators): the pure-Python reference DPs (default) or the "
+             "vectorized numpy kernels (same results, faster sweeps)",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 

@@ -82,6 +82,7 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "resolve_backend",
     "BACKENDS",
 ]
 
@@ -93,19 +94,21 @@ _active_backend = "python"
 
 
 def get_backend() -> str:
-    """Name of the globally active EDwP backend."""
+    """Name of the globally active distance backend."""
     return _active_backend
 
 
 def set_backend(name: str) -> str:
-    """Select the global EDwP backend; returns the previous one.
+    """Select the global distance backend; returns the previous one.
 
-    Affects every call that does not pass an explicit ``backend=``,
-    including the distance registry, TrajTree queries and the CLI.
+    Affects every call that does not pass an explicit ``backend=`` —
+    the EDwP family, every baseline comparator in
+    :mod:`repro.baselines`, the distance registry, the batched matrix
+    engine, TrajTree queries and the CLI.
     """
     global _active_backend
     if name not in BACKENDS:
-        raise ValueError(f"unknown EDwP backend {name!r}; choose from {BACKENDS}")
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
     previous = _active_backend
     _active_backend = name
     return previous
@@ -121,14 +124,26 @@ def use_backend(name: str) -> Iterator[None]:
         set_backend(previous)
 
 
-def _resolve_backend(backend: Optional[str]) -> str:
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a per-call ``backend=`` override against the global choice.
+
+    ``None`` means "follow :func:`set_backend`"; anything else must be one
+    of :data:`BACKENDS`.  Shared by every dual-backend distance — the EDwP
+    family here and the baseline comparators in
+    :mod:`repro.baselines` — so one switch governs them all.
+    """
     if backend is None:
         return _active_backend
     if backend not in BACKENDS:
         raise ValueError(
-            f"unknown EDwP backend {backend!r}; choose from {BACKENDS}"
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
         )
     return backend
+
+
+# Backwards-compatible internal alias (pre-dates the baselines going
+# dual-backend, when resolution was EDwP-private).
+_resolve_backend = resolve_backend
 
 _REP = 0
 _INS1 = 1  # insert on T1 (T2 advances)

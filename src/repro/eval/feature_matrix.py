@@ -11,6 +11,21 @@ distance is a small fraction of the reference distance.
 The probes reuse the paper's own Fig. 1 constructions where they are fully
 specified (the Fig. 1(c) phase scenario, the Fig. 1(d) MA ordering
 pathology) and the Sec. V-C noise protocols otherwise.
+
+Matrix layout (what Table 1 consumes)
+-------------------------------------
+:func:`feature_matrix` returns a nested mapping ``{metric_name ->
+{probe_name -> FeatureProbe}}`` — metrics on the rows (in the caller's
+insertion order, which :func:`format_feature_table` preserves), the four
+behavioural probes (``time_shift``, ``inter``, ``intra``, ``phase``) on
+the columns, and each cell a :class:`FeatureProbe` holding the
+nuisance/reference distance pair whose ratio decides the Y/n verdict.
+The fifth printed column (threshold-freeness) is structural — it comes
+from :attr:`DistanceSpec.threshold_free`, not from a probe — so the
+driver (:mod:`repro.experiments.table1`) supplies it alongside.  Each
+probe is a *single* distance pair per metric, so this harness gains
+nothing from the batched matrix engine; the Fig. 5 sweeps are where
+``DistanceSpec.many`` pays.
 """
 
 from __future__ import annotations

@@ -1,4 +1,13 @@
-"""k-NN helpers shared by the evaluation harnesses."""
+"""k-NN helpers shared by the evaluation harnesses.
+
+A ``distance`` argument here is any ``(Trajectory, Trajectory) -> float``
+callable; when it is a :class:`~repro.baselines.registry.DistanceSpec`
+(or anything else exposing a ``many`` batched form), the whole
+query-vs-database sweep runs through one lockstep batch instead of
+``len(database)`` python calls — the same dispatch amortization the
+matrix engine (:mod:`repro.baselines.matrix`) uses.  Plain callables keep
+working unchanged.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,24 @@ from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from ..core.trajectory import Trajectory
 
-__all__ = ["distance_table", "knn_from_table", "knn_scan"]
+__all__ = ["distance_values", "distance_table", "knn_from_table", "knn_scan"]
 
 DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+def distance_values(
+    query: Trajectory,
+    database: Sequence[Trajectory],
+    distance: DistanceFn,
+) -> List[float]:
+    """Distances from ``query`` to each database trajectory, in order.
+
+    Routes through the metric's batched ``many`` form when it has one.
+    """
+    many = getattr(distance, "many", None)
+    if many is not None:
+        return list(many(query, list(database)))
+    return [distance(query, traj) for traj in database]
 
 
 def distance_table(
@@ -20,10 +44,12 @@ def distance_table(
 
     Keys are each trajectory's ``traj_id`` when set, else its position.
     """
+    database = list(database)
+    values = distance_values(query, database, distance)
     out: Dict[int, float] = {}
-    for pos, traj in enumerate(database):
+    for pos, (traj, value) in enumerate(zip(database, values)):
         tid = traj.traj_id if traj.traj_id is not None else pos
-        out[tid] = distance(query, traj)
+        out[tid] = value
     return out
 
 

@@ -8,6 +8,12 @@ A robust metric keeps its neighbourhoods under noise (correlation near 1).
 
 :func:`make_noisy_dataset` builds D1/D2 pairs for all four protocols;
 :func:`robustness_experiment` runs the measurement sweep.
+
+``metrics`` maps display names to distance callables — pass
+:class:`~repro.baselines.registry.DistanceSpec` objects (as the
+experiment drivers now do) and every query-vs-database table runs through
+the metric's batched lockstep kernel via
+:func:`repro.eval.knn.distance_table`.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ Centralizes the choices every figure needs: which metrics to compare, how to
 derive the EDR/LCSS threshold from a dataset, and the reduced database
 scales the pure-Python reproduction runs at (recorded in README.md's
 benchmark matrix).
+
+The metric factories return :class:`~repro.baselines.registry.DistanceSpec`
+objects (callable like plain functions), so every harness that feeds them
+into :func:`repro.eval.knn.distance_table` or
+:func:`repro.eval.classification.nn_classify` automatically gets the
+metric's batched lockstep kernel.  ``backend=`` pins all of them to one DP
+backend; the default follows the global :func:`repro.core.set_backend`
+choice (which is how the CLI's ``--backend`` flag reaches every metric).
 """
 
 from __future__ import annotations
@@ -12,10 +20,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import MAParams, get_distance
+from ..baselines import DistanceSpec, MAParams, get_distance
 from ..core.trajectory import Trajectory
 from ..datasets import generate_beijing, interpolate_dataset
-from ..eval.knn import DistanceFn
 
 __all__ = [
     "suggest_eps",
@@ -49,7 +56,8 @@ def robustness_metrics(
     dataset: Sequence[Trajectory],
     eps: Optional[float] = None,
     ma_params: Optional[MAParams] = None,
-) -> Dict[str, DistanceFn]:
+    backend: Optional[str] = None,
+) -> Dict[str, DistanceSpec]:
     """The Fig. 5(b)-(i) metric set: EDwP, EDR, LCSS, MA.
 
     (EDR-I is handled separately — it needs both databases interpolated, see
@@ -61,28 +69,29 @@ def robustness_metrics(
     gap = float(np.mean([t.segment_lengths().mean() for t in dataset if len(t) > 1]))
     params = ma_params or MAParams(gap_penalty=gap, match_threshold=2 * eps)
     return {
-        "EDwP": get_distance("edwp").fn,
-        "EDR": get_distance("edr", eps=eps).fn,
-        "LCSS": get_distance("lcss", eps=eps).fn,
-        "MA": get_distance("ma", ma_params=params).fn,
+        "EDwP": get_distance("edwp", backend=backend),
+        "EDR": get_distance("edr", eps=eps, backend=backend),
+        "LCSS": get_distance("lcss", eps=eps, backend=backend),
+        "MA": get_distance("ma", ma_params=params),
     }
 
 
 def classification_metrics(
     dataset: Sequence[Trajectory],
     eps: Optional[float] = None,
-) -> Dict[str, DistanceFn]:
+    backend: Optional[str] = None,
+) -> Dict[str, DistanceSpec]:
     """The Fig. 5(a) metric set: EDwP, EDR, LCSS, DISSIM, MA."""
     if eps is None:
         eps = suggest_eps(dataset)
     gap = float(np.mean([t.segment_lengths().mean() for t in dataset if len(t) > 1]))
     return {
-        "EDwP": get_distance("edwp").fn,
-        "EDR": get_distance("edr", eps=eps).fn,
-        "LCSS": get_distance("lcss", eps=eps).fn,
-        "DISSIM": get_distance("dissim").fn,
+        "EDwP": get_distance("edwp", backend=backend),
+        "EDR": get_distance("edr", eps=eps, backend=backend),
+        "LCSS": get_distance("lcss", eps=eps, backend=backend),
+        "DISSIM": get_distance("dissim", backend=backend),
         "MA": get_distance("ma", ma_params=MAParams(gap_penalty=gap,
-                                                    match_threshold=2 * eps)).fn,
+                                                    match_threshold=2 * eps)),
     }
 
 
@@ -96,9 +105,10 @@ def edr_interpolated_metric(
     d2: Sequence[Trajectory],
     eps: Optional[float] = None,
     max_points: int = 128,
+    backend: Optional[str] = None,
 ):
     """EDR-I: interpolate both databases to one uniform density, return the
-    interpolated copies plus the EDR metric to run on them (Sec. V-C)."""
+    interpolated copies plus the EDR spec to run on them (Sec. V-C)."""
     if eps is None:
         eps = suggest_eps(d1)
     from ..datasets.interpolation import corpus_target_spacing
@@ -106,4 +116,4 @@ def edr_interpolated_metric(
     spacing = corpus_target_spacing(list(d1) + list(d2))
     d1i = interpolate_dataset(d1, spacing=spacing, max_points=max_points)
     d2i = interpolate_dataset(d2, spacing=spacing, max_points=max_points)
-    return d1i, d2i, get_distance("edr", eps=eps).fn
+    return d1i, d2i, get_distance("edr", eps=eps, backend=backend)

@@ -11,7 +11,7 @@ Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..baselines import MAParams, get_distance
 from ..core import Trajectory, edwp
@@ -65,29 +65,28 @@ def scenario_anchors() -> Dict[str, float]:
     }
 
 
-def run_table1(eps: float = 3.0) -> Table1Result:
+def run_table1(eps: float = 3.0, backend: Optional[str] = None) -> Table1Result:
     """Build the empirical Table I and the scenario anchors.
 
     ``eps`` parameterizes the threshold-dependent comparators for the
     behavioural probes (the probe trajectories live on a ~100-unit extent;
-    3.0 matches the paper's Fig. 1 scale).
+    3.0 matches the paper's Fig. 1 scale).  ``backend`` pins every metric
+    to one DP backend; by default all follow the global
+    :func:`repro.core.set_backend` choice — both backends produce the same
+    table (the kernels agree to float tolerance).
     """
     metrics = {
-        "DTW": get_distance("dtw").fn,
-        "LCSS": get_distance("lcss", eps=eps).fn,
-        "ERP": get_distance("erp").fn,
-        "EDR": get_distance("edr", eps=eps).fn,
-        "DISSIM": get_distance("dissim").fn,
+        "DTW": get_distance("dtw", backend=backend),
+        "LCSS": get_distance("lcss", eps=eps, backend=backend),
+        "ERP": get_distance("erp", backend=backend),
+        "EDR": get_distance("edr", eps=eps, backend=backend),
+        "DISSIM": get_distance("dissim", backend=backend),
         "MA": get_distance("ma", ma_params=MAParams(gap_penalty=5.0,
-                                                    match_threshold=eps)).fn,
-        "EDwP": get_distance("edwp").fn,
+                                                    match_threshold=eps)),
+        "EDwP": get_distance("edwp", backend=backend),
     }
     threshold_free = {
-        name: get_distance(key, eps=eps).threshold_free
-        for name, key in [
-            ("DTW", "dtw"), ("LCSS", "lcss"), ("ERP", "erp"), ("EDR", "edr"),
-            ("DISSIM", "dissim"), ("MA", "ma"), ("EDwP", "edwp"),
-        ]
+        name: spec.threshold_free for name, spec in metrics.items()
     }
     probes = feature_matrix(metrics)
     anchors = scenario_anchors()

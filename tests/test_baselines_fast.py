@@ -1,0 +1,197 @@
+"""Backend-equivalence properties for the baseline distance kernels.
+
+The pure-Python implementations are the oracles (DESIGN.md, "Baseline
+kernels"); every vectorized kernel must match them to float tolerance on
+arbitrary inputs, including the degenerate shapes that historically break
+DP vectorizations: single-point trajectories, duplicated points
+(zero-length segments), empty sides, and — for DISSIM — trajectories whose
+observation windows do not overlap at all.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    discrete_frechet,
+    dissim,
+    dtw,
+    dtw_many,
+    edr,
+    edr_many,
+    edr_normalized_many,
+    erp,
+    erp_many,
+    frechet_many,
+    hausdorff,
+    lcss_distance,
+    lcss_distance_many,
+    lcss_length,
+    lp_norm,
+)
+from repro.core import Trajectory, use_backend
+
+TOL = 1e-9
+
+
+def coords(min_points=0, max_points=12):
+    pair = st.tuples(
+        st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+        st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+    )
+    return st.lists(pair, min_size=min_points, max_size=max_points)
+
+
+def trajectory(min_points=0, max_points=12):
+    return coords(min_points, max_points).map(Trajectory.from_xy)
+
+
+def assert_backends_agree(fn, *args):
+    ref = fn(*args, backend="python")
+    fast = fn(*args, backend="numpy")
+    if math.isinf(ref) or math.isinf(fast):
+        assert ref == fast
+    else:
+        assert fast == pytest.approx(ref, abs=TOL, rel=TOL)
+
+
+PAIRWISE = [
+    ("dtw", lambda a, b, backend: dtw(a, b, backend=backend)),
+    ("dtw_banded", lambda a, b, backend: dtw(a, b, window=2, backend=backend)),
+    ("edr", lambda a, b, backend: edr(a, b, 3.0, backend=backend)),
+    ("erp", lambda a, b, backend: erp(a, b, backend=backend)),
+    ("erp_gap", lambda a, b, backend: erp(a, b, gap=(5.0, -3.0),
+                                          backend=backend)),
+    ("lcss_length", lambda a, b, backend: lcss_length(a, b, 3.0,
+                                                      backend=backend)),
+    ("lcss_distance", lambda a, b, backend: lcss_distance(a, b, 3.0,
+                                                          backend=backend)),
+    ("frechet", lambda a, b, backend: discrete_frechet(a, b, backend=backend)),
+    ("hausdorff", lambda a, b, backend: hausdorff(a, b, backend=backend)),
+    ("dissim", lambda a, b, backend: dissim(a, b, backend=backend)),
+    ("lp", lambda a, b, backend: lp_norm(a, b, backend=backend)),
+]
+
+
+@pytest.mark.parametrize("name,fn", PAIRWISE, ids=[n for n, _ in PAIRWISE])
+class TestBackendEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(a=trajectory(), b=trajectory())
+    def test_random(self, name, fn, a, b):
+        assert_backends_agree(fn, a, b)
+
+    def test_single_point(self, name, fn):
+        a = Trajectory.from_xy([(1.0, 2.0)])
+        b = Trajectory.from_xy([(4.0, 6.0), (7.0, 8.0), (9.0, 1.0)])
+        assert_backends_agree(fn, a, b)
+        assert_backends_agree(fn, b, a)
+        assert_backends_agree(fn, a, a)
+
+    def test_duplicate_points(self, name, fn):
+        a = Trajectory.from_xy([(0, 0), (0, 0), (1, 1), (1, 1), (2, 0)])
+        b = Trajectory.from_xy([(0, 1), (0, 1), (0, 1), (2, 1)])
+        assert_backends_agree(fn, a, b)
+        assert_backends_agree(fn, a, a)
+
+    def test_empty_sides(self, name, fn):
+        empty = Trajectory([])
+        full = Trajectory.from_xy([(0, 0), (3, 4)])
+        assert_backends_agree(fn, empty, empty)
+        assert_backends_agree(fn, empty, full)
+        assert_backends_agree(fn, full, empty)
+
+
+def test_dissim_disjoint_windows_match():
+    """Empty-overlap time spans hit the clamped-endpoint base case."""
+    a = Trajectory([(0, 0, 0.0), (1, 0, 10.0)])
+    b = Trajectory([(5, 5, 100.0), (6, 5, 110.0)])
+    assert_backends_agree(lambda x, y, backend: dissim(x, y, backend=backend),
+                          a, b)
+
+
+def test_dissim_duplicate_timestamps_match():
+    a = Trajectory([(0, 0, 0.0), (1, 0, 5.0), (2, 0, 5.0), (3, 0, 10.0)])
+    b = Trajectory([(0, 1, 0.0), (3, 1, 10.0)])
+    assert_backends_agree(lambda x, y, backend: dissim(x, y, backend=backend),
+                          a, b)
+
+
+def test_edr_eps_conventions_inclusive():
+    """EDR matches at exactly eps (<=); LCSS does not (strict <)."""
+    a = Trajectory.from_xy([(0.0, 0.0)])
+    b = Trajectory.from_xy([(2.0, 0.0)])
+    for backend in ("python", "numpy"):
+        assert edr(a, b, 2.0, backend=backend) == 0
+        assert lcss_length(a, b, 2.0, backend=backend) == 0
+        assert lcss_length(a, b, 2.0 + 1e-9, backend=backend) == 1
+
+
+def test_lcss_banded_falls_back_to_reference():
+    """delta > 0 is python-only; both backend names agree regardless."""
+    rng = np.random.default_rng(5)
+    a = Trajectory.from_xy(rng.normal(0, 3, (9, 2)).cumsum(axis=0))
+    b = Trajectory.from_xy(rng.normal(0, 3, (11, 2)).cumsum(axis=0))
+    ref = lcss_length(a, b, 4.0, delta=2, backend="python")
+    assert lcss_length(a, b, 4.0, delta=2, backend="numpy") == ref
+
+
+class TestManyKernels:
+    """Lockstep batches must equal per-pair reference calls, including the
+    variable-length padding, the empty-target base cases and the chunked
+    length-sorted processing order."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        rng = np.random.default_rng(11)
+        query = Trajectory.from_xy(rng.normal(0, 4, (18, 2)).cumsum(axis=0))
+        lengths = [1, 2, 5, 30, 9, 1, 70, 3, 12, 25]
+        targets = [
+            Trajectory.from_xy(rng.normal(0, 4, (n, 2)).cumsum(axis=0))
+            for n in lengths
+        ]
+        targets.append(Trajectory([]))
+        targets.append(Trajectory.from_xy([(0, 0), (0, 0), (1, 1)]))
+        return query, targets
+
+    @pytest.mark.parametrize("many_fn,pair_fn", [
+        (lambda q, ts: dtw_many(q, ts, backend="numpy"),
+         lambda q, t: dtw(q, t, backend="python")),
+        (lambda q, ts: edr_many(q, ts, 3.0, backend="numpy"),
+         lambda q, t: edr(q, t, 3.0, backend="python")),
+        (lambda q, ts: edr_normalized_many(q, ts, 3.0, backend="numpy"),
+         lambda q, t: edr(q, t, 3.0, backend="python") / max(len(q), len(t))),
+        (lambda q, ts: erp_many(q, ts, backend="numpy"),
+         lambda q, t: erp(q, t, backend="python")),
+        (lambda q, ts: lcss_distance_many(q, ts, 3.0, backend="numpy"),
+         lambda q, t: lcss_distance(q, t, 3.0, backend="python")),
+        (lambda q, ts: frechet_many(q, ts, backend="numpy"),
+         lambda q, t: discrete_frechet(q, t, backend="python")),
+    ], ids=["dtw", "edr", "edr_norm", "erp", "lcss", "frechet"])
+    def test_matches_reference(self, batch, many_fn, pair_fn):
+        query, targets = batch
+        fast = many_fn(query, targets)
+        assert len(fast) == len(targets)
+        for value, target in zip(fast, targets):
+            ref = pair_fn(query, target)
+            if math.isinf(ref):
+                assert math.isinf(value)
+            else:
+                assert value == pytest.approx(ref, abs=TOL, rel=TOL)
+
+    def test_empty_query(self, batch):
+        _, targets = batch
+        empty = Trajectory([])
+        assert dtw_many(empty, targets[:3], backend="numpy") == [
+            dtw(empty, t) for t in targets[:3]
+        ]
+        assert edr_many(empty, targets[:3], 3.0, backend="numpy") == [
+            len(t) for t in targets[:3]
+        ]
+
+    def test_python_backend_loops(self, batch):
+        query, targets = batch
+        with use_backend("python"):
+            loop = dtw_many(query, targets)
+        assert loop == [dtw(query, t, backend="python") for t in targets]

@@ -5,6 +5,7 @@ README.md's benchmark matrix; this locks those promises in, alongside the
 standalone checker (``tools/check_doc_links.py``) that CI runs.
 """
 
+import re
 import sys
 from pathlib import Path
 
@@ -29,12 +30,29 @@ def test_design_md_keeps_promised_sections():
         "## Partition balance guard",
         "## Dataset substitution table",
         "## Dual-backend EDwP kernels",
+        "## Baseline kernels",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
     for keyword in ("Viterbi", "min_node_size", "nearest pivot",
                     "T-Drive", "Sign Language", "lockstep"):
         assert keyword in text
+    # the baseline-kernels section must keep its anchored sub-contracts
+    for keyword in ("anti-diagonal", "pairwise_matrix", "cross_matrix",
+                    "eps-threshold conventions", "corner cell",
+                    "<= eps", "delta > 0", "DistanceSpec.symmetric"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # in-page anchors that README/docstrings point at must resolve to a
+    # heading (GitHub slug rule: lowercase, spaces -> dashes)
+    slugs = {
+        re.sub(r"[^a-z0-9 -]", "", line.lstrip("#").strip().lower())
+        .replace(" ", "-")
+        for line in text.splitlines() if line.startswith("#")
+    }
+    for anchor in ("baseline-kernels", "dual-backend-edwp-kernels",
+                   "the-edwpsub-dp-realization", "trajtree-leaf-refinement",
+                   "dataset-substitution-table"):
+        assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
 def test_readme_covers_the_promised_ground():
@@ -47,5 +65,12 @@ def test_readme_covers_the_promised_ground():
         "bench_core_ops.py",
         "repro.core.edwp",        # paper -> module map
         "DESIGN.md",
+        # the baseline-family backend guide and matrix-engine quickstart
+        "pairwise_matrix",
+        "cross_matrix",
+        "dtw_many",
+        "repro.baselines.fast",
+        "DESIGN.md#baseline-kernels",
+        "bench_table1_features.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

@@ -201,9 +201,9 @@ class TestBackendSelection:
 
     def test_unknown_backend_rejected(self, rng):
         a, b = random_trajectory(rng, 3), random_trajectory(rng, 3)
-        with pytest.raises(ValueError, match="unknown EDwP backend"):
+        with pytest.raises(ValueError, match="unknown backend"):
             edwp(a, b, backend="cuda")
-        with pytest.raises(ValueError, match="unknown EDwP backend"):
+        with pytest.raises(ValueError, match="unknown backend"):
             set_backend("cuda")
 
 

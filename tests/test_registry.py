@@ -49,3 +49,41 @@ class TestRegistry:
         spec = get_distance("dtw")
         assert spec.name == "DTW"
         assert spec(A, A) == 0.0
+
+    def test_unused_params_rejected(self):
+        """Parameters a metric does not consume raise TypeError naming the
+        valid ones instead of being silently ignored."""
+        with pytest.raises(TypeError, match="valid parameters for 'dtw'"):
+            get_distance("dtw", eps=1.0)
+        with pytest.raises(TypeError, match="ma_params"):
+            get_distance("edwp", ma_params=MAParams())
+        with pytest.raises(TypeError, match="eps"):
+            get_distance("ma", eps=2.0)
+        # the valid combinations still resolve
+        get_distance("edr", eps=1.0, backend="numpy")
+        get_distance("ma", ma_params=MAParams())
+
+    def test_bad_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_distance("dtw", backend="cuda")
+
+    def test_batched_capability(self):
+        """Lockstep-kernel metrics expose `many`; the rest fall back."""
+        for name in ("edwp", "edwp_raw", "dtw", "erp", "frechet"):
+            assert get_distance(name).batched
+        for name in ("edr", "lcss"):
+            assert get_distance(name, eps=1.0).batched
+        for name in ("ma", "hausdorff", "dissim", "lp"):
+            assert not get_distance(name).batched
+
+    def test_many_matches_pairwise(self):
+        targets = [A, B, A.translated(5.0, 5.0)]
+        for backend in ("python", "numpy"):
+            spec = get_distance("dtw", backend=backend)
+            assert spec.many(A, targets) == pytest.approx(
+                [spec.fn(A, t) for t in targets]
+            )
+
+    def test_ma_flagged_asymmetric(self):
+        assert not get_distance("ma").symmetric
+        assert get_distance("dtw").symmetric
