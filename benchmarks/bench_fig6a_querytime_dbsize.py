@@ -1,14 +1,31 @@
-"""Figs. 6(a)/6(e): query time and index build time vs database size."""
+"""Figs. 6(a)/6(e): query time and index build time vs database size.
+
+Also hosts the ISSUE-5 acceptance gate for the vectorized index bound
+engine: TrajTree ``knn`` with the numpy bound backend must return
+identical neighbor sets to the reference backend and be >= 4x faster on
+a >= 500-trajectory index (see DESIGN.md, "Index bound kernels").
+"""
+
+import math
+import time
 
 import pytest
 
 from conftest import emit
 
+from repro.datasets import generate_beijing
 from repro.eval.timing import format_series_table
 from repro.experiments import run_scaling
+from repro.index import TrajTree
 
 DB_SIZES = (40, 80, 160)
 QUERIES = 2
+
+#: Gate workload: the smallest scale the acceptance criterion names.
+GATE_DB_SIZE = 500
+GATE_QUERIES = 5
+GATE_K = 10
+GATE_MIN_SPEEDUP = 4.0
 
 
 @pytest.fixture(scope="module")
@@ -44,3 +61,68 @@ def test_fig6e_build_time_vs_dbsize(benchmark, results_dir, scaling_result):
     growth = builds[-1] / max(builds[0], 1e-9)
     assert growth >= 1.0
     assert growth <= size_ratio ** 2 * 1.5
+
+
+def test_batched_bound_knn_speedup_and_equivalence(results_dir):
+    """Acceptance gate: numpy-bound ``knn`` vs the python-bound path.
+
+    One tree (built once, with the batched build path), the same queries
+    under both backends: neighbor id lists must be identical, distances
+    must agree to < 1e-9, and the batched bound engine must be >=
+    ``GATE_MIN_SPEEDUP``x faster end-to-end.  Timings are min-of-3 per
+    backend — both backends run in the same process back-to-back, so the
+    ratio is robust to noisy-neighbor CI runners.
+    """
+    db = generate_beijing(GATE_DB_SIZE, seed=7)
+    queries = generate_beijing(GATE_QUERIES, seed=1007)
+
+    build_start = time.perf_counter()
+    tree = TrajTree(db, theta=0.8, num_vps=8, normalized=True, seed=7,
+                    backend="numpy")
+    build_secs = time.perf_counter() - build_start
+
+    def run_all():
+        return [tree.knn(q, GATE_K) for q in queries]
+
+    timings = {}
+    answers = {}
+    for backend in ("numpy", "python"):
+        tree.backend = backend
+        run_all()                          # warm caches, page in the tree
+        best = math.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            answers[backend] = run_all()
+            best = min(best, time.perf_counter() - start)
+        timings[backend] = best
+
+    ids_numpy = [[tid for tid, _ in a] for a in answers["numpy"]]
+    ids_python = [[tid for tid, _ in a] for a in answers["python"]]
+    deviation = max(
+        abs(da - db_)
+        for a, b in zip(answers["numpy"], answers["python"])
+        for (_, da), (_, db_) in zip(a, b)
+    )
+    speedup = timings["python"] / timings["numpy"]
+
+    body = (
+        f"index size          {GATE_DB_SIZE} trajectories\n"
+        f"queries x k         {GATE_QUERIES} x {GATE_K}\n"
+        f"build (numpy path)  {build_secs:.2f} s\n"
+        f"knn python bounds   {timings['python']:.3f} s\n"
+        f"knn numpy bounds    {timings['numpy']:.3f} s\n"
+        f"speedup             {speedup:.2f}x (gate: >= "
+        f"{GATE_MIN_SPEEDUP:.1f}x)\n"
+        f"neighbor sets       {'identical' if ids_numpy == ids_python else 'DIFFER'}\n"
+        f"max abs deviation   {deviation:.2e}\n"
+    )
+    emit(results_dir, "fig6a_bound_gate",
+         "ISSUE-5 gate: batched TrajTree bound engine vs python bounds",
+         body)
+
+    assert ids_numpy == ids_python, "neighbor sets differ across backends"
+    assert deviation < 1e-9
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"batched bound engine only {speedup:.2f}x faster "
+        f"(gate requires >= {GATE_MIN_SPEEDUP:.1f}x)"
+    )

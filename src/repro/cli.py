@@ -23,7 +23,11 @@ Fréchet, Hausdorff, DISSIM) — through the vectorized kernels instead of
 the pure-Python reference DPs, and the harnesses batch each
 query-vs-database sweep through the lockstep kernels: same numbers, an
 order of magnitude less waiting on the larger sweeps (see DESIGN.md,
-"Baseline kernels").
+"Baseline kernels").  The index experiments (fig5j, fig6a-f) additionally
+route TrajTree's Theorem-2 box bounds, frontier pruning and build-time
+pivot selection through the batched bound engine (DESIGN.md, "Index bound
+kernels") — identical trees and neighbor sets, several times faster
+queries and builds.
 """
 
 from __future__ import annotations
@@ -178,14 +182,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if name == "fig5j":
         result = run_fig5j(db_size=args.db_size, k_values=args.k_values,
-                           num_queries=args.queries, seed=args.seed)
+                           num_queries=args.queries, seed=args.seed,
+                           backend=args.backend)
         print("Fig. 5(j): total query seconds vs k")
         print(format_series_table("k", result.x_values, result.series))
         return 0
 
     if name in ("fig6a", "fig6e"):
         result = run_scaling(db_sizes=args.db_sizes,
-                             num_queries=args.queries, seed=args.seed)
+                             num_queries=args.queries, seed=args.seed,
+                             backend=args.backend)
         if name == "fig6a":
             print("Fig. 6(a): total query seconds vs database size")
             print(format_series_table("db size", result.x_values,
@@ -198,7 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if name in ("fig6b", "fig6f"):
         result = run_theta_sweep(thetas=args.thetas, db_size=args.db_size,
-                                 seed=args.seed)
+                                 seed=args.seed, backend=args.backend)
         if name == "fig6b":
             print("Fig. 6(b): query seconds vs theta")
             print(format_series_table("theta", result.x_values,
@@ -211,14 +217,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if name == "fig6c":
         result = run_fig6c(vp_counts=args.vps, db_size=args.db_size,
-                           seed=args.seed)
+                           seed=args.seed, backend=args.backend)
         print("Fig. 6(c): UB-factor vs #VPs (lower is tighter; optimal = 1)")
         print(format_series_table("#VPs", result.x_values, result.series))
         return 0
 
     if name == "fig6d":
         result = run_fig6d(k_values=args.k_values, db_size=args.db_size,
-                           seed=args.seed)
+                           seed=args.seed, backend=args.backend)
         print("Fig. 6(d): UB-factor vs k (lower is tighter; optimal = 1)")
         print(format_series_table("k", result.x_values, result.series))
         return 0

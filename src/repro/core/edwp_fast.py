@@ -66,7 +66,9 @@ __all__ = [
     "edwp_numpy",
     "edwp_many_numpy",
     "edwp_sub_numpy",
+    "edwp_sub_many_numpy",
     "edwp_sub_fast_numpy",
+    "edwp_sub_fast_queries_numpy",
     "prefix_dist_numpy",
 ]
 
@@ -188,7 +190,7 @@ def dp_last_rows(
         t_hi = t >= 1.0                 # covers the norm_sq == 0 case too
         np.minimum(t, 1.0, out=t)
         q = a1 + t * seg
-        q = np.where(t_hi, np.broadcast_to(seg_end, q.shape), q)
+        q = np.where(t_hi, seg_end, q)
         total = cost_p1[:, cells] + (
             np.abs(a1 - a2) + np.abs(q - b2)
         ) * (np.abs(a1 - q) + np.abs(a2 - b2))
@@ -213,7 +215,7 @@ def dp_last_rows(
             np.abs(a1 - a2) + np.abs(b1 - q)
         ) * (np.abs(a1 - b1) + np.abs(a2 - q))
         take = total < best
-        np.copyto(best_u, np.broadcast_to(b1, q.shape), where=take)
+        np.copyto(best_u, b1, where=take)
         np.copyto(best_v, q, where=take)
         np.minimum(best, total, out=best)
 
@@ -230,6 +232,152 @@ def dp_last_rows(
         )
 
     return last_rows
+
+
+def dp_own_rows(
+    Z1: np.ndarray,
+    z2: np.ndarray,
+    seg_counts: np.ndarray,
+    free_start_row: bool = False,
+) -> np.ndarray:
+    """Lockstep anti-diagonal DP of a *batch of queries* against one target.
+
+    The mirror image of :func:`dp_last_rows`: the batch axis rides on the
+    first side instead of the second.  This is the shape of build-time
+    pivot selection (Alg. 1), where every node trajectory is measured
+    against one shared pivot.
+
+    Parameters
+    ----------
+    Z1:
+        ``(B, m1)`` complex query points; rows shorter than ``m1`` points
+        are padded by repeating their final point.
+    z2:
+        ``(m2,)`` complex target points, ``m2 >= 2``.
+    seg_counts:
+        ``(B,)`` true segment counts per row of ``Z1`` (each ``>= 1``).
+    free_start_row:
+        Make every cell ``(0, j)`` free — skip any prefix of ``z2``.
+
+    Returns
+    -------
+    ``(B, m2 - 1 + 1)`` array: for pair ``b``, its *own* last row
+    ``cost[n1_b][0..n2]``.  Padded rows beyond a pair's extent keep
+    computing, but their cells are never read — each pair's row is
+    captured on the diagonal sweep as it passes through ``i == n1_b``, and
+    cells ``(i <= n1_b, j)`` only ever read unpadded ``Z1`` data, so the
+    padding-exactness argument of the module docstring carries over
+    unchanged.
+    """
+    batch, m1 = Z1.shape
+    n1 = m1 - 1
+    n2 = z2.shape[0] - 1
+
+    width = n1 + 3
+    cost_p2 = np.full((batch, width), _INF)
+    u_p2 = np.zeros((batch, width), dtype=np.complex128)
+    v_p2 = np.zeros((batch, width), dtype=np.complex128)
+    cost_p1 = np.full((batch, width), _INF)
+    u_p1 = np.zeros((batch, width), dtype=np.complex128)
+    v_p1 = np.zeros((batch, width), dtype=np.complex128)
+    cost_d = np.full((batch, width), _INF)
+    u_d = np.zeros((batch, width), dtype=np.complex128)
+    v_d = np.zeros((batch, width), dtype=np.complex128)
+
+    cost_p1[:, 1] = 0.0
+    u_p1[:, 1] = Z1[:, 0]
+    v_p1[:, 1] = z2[0]
+
+    Z1_next = np.concatenate([Z1[:, 1:], Z1[:, -1:]], axis=1)
+    z2_next = np.concatenate([z2[1:], z2[-1:]])
+
+    own_rows = np.full((batch, n2 + 1), _INF)
+    rows_idx = np.arange(batch)
+
+    for d in range(1, n1 + n2 + 1):
+        lo = d - n2 if d > n2 else 0
+        hi = n1 if d > n1 else d
+        cells = slice(lo + 1, hi + 2)
+        preds = slice(lo, hi + 1)
+
+        b1 = Z1[:, lo:hi + 1]                       # P1[i] per pair
+        b2 = z2[d - hi:d - lo + 1][::-1][None, :]   # P2[d-i], shared
+
+        # Same fold as :func:`dp_last_rows` with the sides' roles mirrored:
+        # P1 slices are per-pair here, P2 slices are shared.
+        cost_d.fill(_INF)
+        best = cost_d[:, cells]
+        best_u = u_d[:, cells]
+        best_v = v_d[:, cells]
+
+        # --- rep: from (i-1, j-1) on diagonal d-2 ----------------------- #
+        a1 = u_p2[:, preds]
+        a2 = v_p2[:, preds]
+        best[...] = cost_p2[:, preds] + (
+            np.abs(a1 - a2) + np.abs(b1 - b2)
+        ) * (np.abs(a1 - b1) + np.abs(a2 - b2))
+        best_u[...] = b1
+        best_v[...] = b2
+
+        # --- ins on T1: from (i, j-1) on diagonal d-1 ------------------- #
+        a1 = u_p1[:, cells]
+        a2 = v_p1[:, cells]
+        seg_end = Z1_next[:, lo:hi + 1]             # P1[i+1] per pair
+        seg = seg_end - a1
+        seg_c = seg.conj()
+        norm_sq = (seg_c * seg).real
+        t = (seg_c * (b2 - a1)).real / (norm_sq + (norm_sq <= 0.0))
+        np.maximum(t, 0.0, out=t)
+        t_hi = t >= 1.0
+        np.minimum(t, 1.0, out=t)
+        q = a1 + t * seg
+        q = np.where(t_hi, seg_end, q)
+        total = cost_p1[:, cells] + (
+            np.abs(a1 - a2) + np.abs(q - b2)
+        ) * (np.abs(a1 - q) + np.abs(a2 - b2))
+        take = total < best
+        np.copyto(best_u, q, where=take)
+        np.minimum(best, total, out=best)
+
+        # --- ins on T2: from (i-1, j) on diagonal d-1 — symmetric ------- #
+        a1 = u_p1[:, preds]
+        a2 = v_p1[:, preds]
+        seg_end = z2_next[d - hi:d - lo + 1][::-1][None, :]     # P2[j+1]
+        seg = seg_end - a2
+        seg_c = seg.conj()
+        norm_sq = (seg_c * seg).real
+        t = (seg_c * (b1 - a2)).real / (norm_sq + (norm_sq <= 0.0))
+        np.maximum(t, 0.0, out=t)
+        t_hi = t >= 1.0
+        np.minimum(t, 1.0, out=t)
+        q = a2 + t * seg
+        q = np.where(t_hi, seg_end, q)
+        total = cost_p1[:, preds] + (
+            np.abs(a1 - a2) + np.abs(b1 - q)
+        ) * (np.abs(a1 - b1) + np.abs(a2 - q))
+        take = total < best
+        np.copyto(best_u, b1, where=take)
+        np.copyto(best_v, q, where=take)
+        np.minimum(best, total, out=best)
+
+        # --- commit the diagonal ---------------------------------------- #
+        if free_start_row and lo == 0:      # cell (0, d) is free
+            cost_d[:, 1] = 0.0
+            u_d[:, 1] = Z1[:, 0]
+            v_d[:, 1] = z2[d]
+        # Capture each pair's own last row as the wavefront crosses it.
+        hit = (seg_counts >= lo) & (seg_counts <= hi)
+        if hit.any():
+            idx = rows_idx[hit]
+            own_rows[idx, d - seg_counts[idx]] = (
+                cost_d[idx, seg_counts[idx] + 1]
+            )
+
+        cost_p2, u_p2, v_p2, cost_p1, u_p1, v_p1, cost_d, u_d, v_d = (
+            cost_p1, u_p1, v_p1, cost_d, u_d, v_d, cost_p2, u_p2, v_p2,
+        )
+
+    return own_rows
 
 
 def _batch_targets(targets: Sequence[np.ndarray]):
@@ -250,6 +398,28 @@ def edwp_numpy(t1, t2) -> float:
     return float(dp_last_rows(z1, z2[None, :])[0, -1])
 
 
+def _lockstep_batches(trajectories: Sequence, fill: float, kernel) -> List[float]:
+    """Shared driver for the one-vs-many entry points.
+
+    Items without segments keep ``fill`` (the caller's base case) and
+    never enter a kernel; survivors are sorted by length so chunks are
+    skew-free, packed in :data:`BATCH_CHUNK`-sized chunks with
+    repeated-final-point padding, and per-pair answers scattered back in
+    input order.  ``kernel(Z, seg_counts)`` returns one value per row.
+    """
+    out = [fill] * len(trajectories)
+    live = [i for i, t in enumerate(trajectories) if t.num_segments > 0]
+    live.sort(key=lambda i: len(trajectories[i]))
+    for start in range(0, len(live), BATCH_CHUNK):
+        chunk = live[start:start + BATCH_CHUNK]
+        Z, seg_counts = _batch_targets(
+            [trajectory_complex(trajectories[i]) for i in chunk]
+        )
+        for i, value in zip(chunk, kernel(Z, seg_counts)):
+            out[i] = float(value)
+    return out
+
+
 def edwp_many_numpy(query, trajectories: Sequence) -> List[float]:
     """Raw EDwP of one query against many trajectories, lockstep-batched.
 
@@ -258,20 +428,36 @@ def edwp_many_numpy(query, trajectories: Sequence) -> List[float]:
     Targets are processed in length-sorted chunks of :data:`BATCH_CHUNK` so
     one long outlier cannot stretch the DP sweep of a whole batch.
     """
-    out = [_INF] * len(trajectories)
     z1 = trajectory_complex(query)
-    live = [i for i, t in enumerate(trajectories) if t.num_segments > 0]
-    live.sort(key=lambda i: len(trajectories[i]))
-    for start in range(0, len(live), BATCH_CHUNK):
-        chunk = live[start:start + BATCH_CHUNK]
-        Z2, seg_counts = _batch_targets(
-            [trajectory_complex(trajectories[i]) for i in chunk]
-        )
-        rows = dp_last_rows(z1, Z2)
-        corners = rows[np.arange(len(chunk)), seg_counts]
-        for i, value in zip(chunk, corners):
-            out[i] = float(value)
-    return out
+
+    def corners(Z2, seg_counts):
+        return dp_last_rows(z1, Z2)[np.arange(len(seg_counts)), seg_counts]
+
+    return _lockstep_batches(trajectories, _INF, corners)
+
+
+def edwp_sub_many_numpy(query, trajectories: Sequence) -> List[float]:
+    """Two-pass EDwPsub of one query against many targets, lockstep-batched.
+
+    Callers guarantee the query has >= 1 segment; targets without segments
+    get ``inf`` (the recursion's base case) without entering the kernel.
+    Both DP passes (free-start-row and anchored) run over the same padded
+    batch; each pair's value is the minimum over its *own* last-row
+    columns ``0..n2`` of both passes — padding exactness carries over
+    because every cell ``(n1, j)`` with ``j <= n2`` only ever reads cells
+    with smaller-or-equal column indices.
+    """
+    z1 = trajectory_complex(query)
+
+    def two_pass_row_min(Z2, seg_counts):
+        free = dp_last_rows(z1, Z2, free_start_row=True)
+        anchored = dp_last_rows(z1, Z2, free_start_row=False)
+        both = np.minimum(free, anchored)
+        cols = np.arange(both.shape[1])
+        in_extent = cols[None, :] <= seg_counts[:, None]
+        return np.where(in_extent, both, _INF).min(axis=1)
+
+    return _lockstep_batches(trajectories, _INF, two_pass_row_min)
 
 
 def edwp_sub_numpy(t, s) -> float:
@@ -288,6 +474,23 @@ def edwp_sub_fast_numpy(t, s) -> float:
     z1 = trajectory_complex(t)
     z2 = trajectory_complex(s)[None, :]
     return float(dp_last_rows(z1, z2, free_start_row=True).min())
+
+
+def edwp_sub_fast_queries_numpy(queries: Sequence, target) -> List[float]:
+    """One-pass EDwPsub of *many queries* against one shared target.
+
+    The batch-first shape of Alg. 1 pivot selection: every trajectory of a
+    node measured against one pivot.  Callers guarantee the target has
+    >= 1 segment; queries without segments match trivially (0.0) without
+    entering the kernel.  Each value equals
+    ``edwp_sub_fast(query, target)`` on this backend.
+    """
+    z2 = trajectory_complex(target)
+
+    def own_row_min(Z1, seg_counts):
+        return dp_own_rows(Z1, z2, seg_counts, free_start_row=True).min(axis=1)
+
+    return _lockstep_batches(queries, 0.0, own_row_min)
 
 
 def prefix_dist_numpy(t, s) -> float:

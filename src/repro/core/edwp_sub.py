@@ -17,13 +17,20 @@ diversity with it, and tBoxSeq construction and query-time lower bounds
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from . import edwp_fast
 from .edwp import EdwpResult, _backtrack, _edwp_dp, _resolve_backend, _spatial_points
 from .trajectory import Trajectory
 
-__all__ = ["edwp_sub", "edwp_sub_fast", "edwp_sub_alignment", "prefix_dist"]
+__all__ = [
+    "edwp_sub",
+    "edwp_sub_many",
+    "edwp_sub_fast",
+    "edwp_sub_fast_queries",
+    "edwp_sub_alignment",
+    "prefix_dist",
+]
 
 
 def _sub_trivial(n_t: int, n_s: int) -> float | None:
@@ -63,6 +70,31 @@ def edwp_sub(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> flo
     return min(min(free[len(p1) - 1]), min(anchored[len(p1) - 1]))
 
 
+def edwp_sub_many(
+    t: Trajectory,
+    trajectories: Sequence[Trajectory],
+    backend: Optional[str] = None,
+) -> List[float]:
+    """``EDwPsub(T, S)`` of one query against many targets.
+
+    The batched entry point of the sub-trajectory distance: on the
+    ``"numpy"`` backend the whole batch runs through the lockstep kernel
+    (:func:`repro.core.edwp_fast.edwp_sub_many_numpy`, both DP passes);
+    on ``"python"`` it is a plain loop.  TrajTree's ``subtrajectory_knn``
+    leaf refinement and scan oracle route through this.
+
+    Returns one distance per target, in order, with the same base-case
+    semantics as :func:`edwp_sub` per pair.
+    """
+    resolved = _resolve_backend(backend)
+    trajectories = list(trajectories)
+    if t.num_segments <= 0:
+        return [0.0] * len(trajectories)
+    if resolved == "numpy" and trajectories:
+        return edwp_fast.edwp_sub_many_numpy(t, trajectories)
+    return [edwp_sub(t, s, backend=resolved) for s in trajectories]
+
+
 def edwp_sub_fast(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> float:
     """Single-pass EDwPsub (free-start DP only).
 
@@ -80,6 +112,30 @@ def edwp_sub_fast(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -
     p2 = _spatial_points(s)
     free, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=True)
     return min(free[len(p1) - 1])
+
+
+def edwp_sub_fast_queries(
+    queries: Sequence[Trajectory],
+    s: Trajectory,
+    backend: Optional[str] = None,
+) -> List[float]:
+    """:func:`edwp_sub_fast` of many first arguments against one target.
+
+    The batch-*first* counterpart of :func:`edwp_sub_many` (which batches
+    over the second argument): Alg. 1 pivot selection measures every node
+    trajectory against one shared pivot, so on the ``"numpy"`` backend the
+    whole column runs through the batch-first lockstep kernel
+    (:func:`repro.core.edwp_fast.edwp_sub_fast_queries_numpy`); on
+    ``"python"`` it is a plain loop.  Returns one value per query, in
+    order, with the same base-case semantics as :func:`edwp_sub_fast`.
+    """
+    resolved = _resolve_backend(backend)
+    queries = list(queries)
+    if s.num_segments <= 0:
+        return [_sub_trivial(q.num_segments, 0) for q in queries]
+    if resolved == "numpy" and queries:
+        return edwp_fast.edwp_sub_fast_queries_numpy(queries, s)
+    return [edwp_sub_fast(q, s, backend=resolved) for q in queries]
 
 
 def prefix_dist(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> float:

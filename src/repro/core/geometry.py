@@ -32,6 +32,7 @@ __all__ = [
     "project_point_on_rect",
     "project_rect_on_segment",
     "polyline_rect_distance",
+    "polyline_rects_distance",
     "segment_rect_distance",
     "segment_length",
     "polyline_length",
@@ -212,37 +213,82 @@ def polyline_rect_distance(
     segment the minimum is attained at an endpoint, a crossing of one of
     the rectangle's four supporting lines, or a corner projection — with
     all candidates evaluated in one numpy pass.  This is the cheap
-    pre-filter TrajTree applies before running the full box-sequence DP.
+    pre-filter TrajTree applies before running the full box-sequence DP,
+    in its batch-of-one form (:func:`polyline_rects_distance` is the
+    implementation; frontier batching calls it with all children's
+    rectangles at once).
+    """
+    return float(
+        polyline_rects_distance(points, [[xmin, ymin, xmax, ymax]])[0]
+    )
+
+
+def polyline_rects_distance(points, rects) -> "object":
+    """Exact minimum polyline-to-rectangle distance for *many* rectangles.
+
+    ``points`` is an ``(n, 2)`` array of polyline vertices and ``rects`` an
+    ``(r, 4)`` array of ``(xmin, ymin, xmax, ymax)`` rows.  Returns an
+    ``(r,)`` float64 array where entry ``i`` equals
+    :func:`polyline_rect_distance` against rectangle ``i`` — the same
+    ten-candidate argument, evaluated for every rectangle in one numpy
+    pass.  This is how TrajTree's frontier batching computes the cheap
+    quick-bound pre-filter for all children of a dequeued node at once.
     """
     import numpy as np
 
     pts = np.asarray(points, dtype=np.float64)
+    R = np.asarray(rects, dtype=np.float64)
+    if R.ndim != 2 or R.shape[1] != 4:
+        raise ValueError(f"rects must be an (r, 4) array, got shape {R.shape}")
     if pts.shape[0] == 0:
         raise ValueError("empty polyline has no distance")
+    xmin = R[:, 0][:, None, None]
+    ymin = R[:, 1][:, None, None]
+    xmax = R[:, 2][:, None, None]
+    ymax = R[:, 3][:, None, None]
     if pts.shape[0] == 1:
-        return point_rect_distance(pts[0], xmin, ymin, xmax, ymax)
+        px = pts[0, 0]
+        py = pts[0, 1]
+        dx = np.maximum(np.maximum(xmin - px, px - xmax), 0.0)
+        dy = np.maximum(np.maximum(ymin - py, py - ymax), 0.0)
+        return np.hypot(dx, dy)[:, 0, 0]
 
-    a = pts[:-1]
+    a = pts[:-1]                          # (n, 2)
     d = pts[1:] - a                       # (n, 2)
     norm_sq = (d * d).sum(axis=1)         # (n,)
     safe = np.where(norm_sq > 0.0, norm_sq, 1.0)
+    ax = a[:, 0][None, :, None]
+    ay = a[:, 1][None, :, None]
+    dx = d[:, 0][None, :, None]
+    dy = d[:, 1][None, :, None]
 
-    cand = [np.zeros(len(a)), np.ones(len(a))]
+    n = a.shape[0]
+    r = R.shape[0]
+    zeros = np.zeros((1, n, 1))
     with np.errstate(divide="ignore", invalid="ignore"):
-        for value, axis in ((xmin, 0), (xmax, 0), (ymin, 1), (ymax, 1)):
-            t = (value - a[:, axis]) / np.where(d[:, axis] != 0.0,
-                                                d[:, axis], np.inf)
-            cand.append(t)
-    for cx, cy in ((xmin, ymin), (xmin, ymax), (xmax, ymin), (xmax, ymax)):
-        t = ((cx - a[:, 0]) * d[:, 0] + (cy - a[:, 1]) * d[:, 1]) / safe
-        cand.append(t)
-
-    ts = np.clip(np.stack(cand, axis=1), 0.0, 1.0)   # (n, 10)
-    px = a[:, 0, None] + ts * d[:, 0, None]
-    py = a[:, 1, None] + ts * d[:, 1, None]
-    dx = np.maximum(np.maximum(xmin - px, px - xmax), 0.0)
-    dy = np.maximum(np.maximum(ymin - py, py - ymax), 0.0)
-    return float(np.sqrt(dx * dx + dy * dy).min())
+        inv_x = np.where(dx != 0.0, dx, np.inf)
+        inv_y = np.where(dy != 0.0, dy, np.inf)
+        cand = [
+            zeros,
+            np.ones((1, n, 1)),
+            (xmin - ax) / inv_x,
+            (xmax - ax) / inv_x,
+            (ymin - ay) / inv_y,
+            (ymax - ay) / inv_y,
+        ]
+        for cx, cy in ((xmin, ymin), (xmin, ymax), (xmax, ymin), (xmax, ymax)):
+            cand.append(
+                ((cx - ax) * dx + (cy - ay) * dy) / safe[None, :, None]
+            )
+    ts = np.concatenate(
+        [np.broadcast_to(c, (r, n, 1)) for c in cand], axis=2
+    )                                      # (r, n, 10)
+    np.clip(ts, 0.0, 1.0, out=ts)
+    px = ax + ts * dx
+    py = ay + ts * dy
+    ddx = np.maximum(np.maximum(xmin - px, px - xmax), 0.0)
+    ddy = np.maximum(np.maximum(ymin - py, py - ymax), 0.0)
+    return np.sqrt(ddx * ddx + ddy * ddy).min(axis=(1, 2))
 
 
 def segment_length(a: Sequence[float], b: Sequence[float]) -> float:

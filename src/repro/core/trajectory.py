@@ -115,7 +115,7 @@ class Trajectory:
         When true (default), reject NaNs and decreasing timestamps.
     """
 
-    __slots__ = ("data", "traj_id", "label", "_coords")
+    __slots__ = ("data", "traj_id", "label", "_coords", "_length")
 
     def __init__(
         self,
@@ -146,6 +146,7 @@ class Trajectory:
         self.traj_id = traj_id
         self.label = label
         self._coords = None
+        self._length = None
 
     # ------------------------------------------------------------------ #
     # basic container protocol
@@ -198,6 +199,7 @@ class Trajectory:
         else:
             self.data, self.traj_id, self.label = state
         self._coords = None
+        self._length = None
 
     # ------------------------------------------------------------------ #
     # segment access
@@ -220,11 +222,17 @@ class Trajectory:
 
     @property
     def length(self) -> float:
-        """Total spatial length, Eq. 1."""
-        if len(self) < 2:
-            return 0.0
-        diffs = np.diff(self.data[:, :2], axis=0)
-        return float(np.sqrt((diffs * diffs).sum(axis=1)).sum())
+        """Total spatial length, Eq. 1 (cached; data is immutable by
+        convention, like the :meth:`coords` cache)."""
+        cached = self._length
+        if cached is None:
+            if len(self) < 2:
+                cached = 0.0
+            else:
+                diffs = np.diff(self.data[:, :2], axis=0)
+                cached = float(np.sqrt((diffs * diffs).sum(axis=1)).sum())
+            self._length = cached
+        return cached
 
     @property
     def duration(self) -> float:

@@ -3,9 +3,12 @@
 Public surface:
 
 * :class:`~repro.index.stbox.STBox` — spatio-temporal bounding box (Def. 4).
-* :class:`~repro.index.tboxseq.TBoxSeq` and
-  :func:`~repro.index.tboxseq.edwp_sub_box` — box sequences and the
-  Theorem-2 lower bound.
+* :class:`~repro.index.tboxseq.TBoxSeq`,
+  :func:`~repro.index.tboxseq.edwp_sub_box` and
+  :func:`~repro.index.tboxseq.edwp_sub_box_many` — box sequences and the
+  Theorem-2 lower bound (single and batched forms).
+* :mod:`~repro.index.fast_bounds` — the vectorized ``"numpy"`` realization
+  of the bound kernels (see DESIGN.md, "Index bound kernels").
 * :func:`~repro.index.partition.partition` — pivot partitioning (Alg. 1).
 * :class:`~repro.index.vantage.VantageIndex` — Lipschitz-style vantage
   descriptors and the VP-based upper bound (Sec. IV-E).
@@ -14,7 +17,7 @@ Public surface:
 """
 
 from .stbox import STBox
-from .tboxseq import TBoxSeq, edwp_sub_box
+from .tboxseq import TBoxSeq, edwp_sub_box, edwp_sub_box_many
 from .partition import partition
 from .vantage import VantageIndex, select_vantage_points, vantage_distance, vp_distance
 from .trajtree import TrajTree
@@ -24,6 +27,7 @@ __all__ = [
     "STBox",
     "TBoxSeq",
     "edwp_sub_box",
+    "edwp_sub_box_many",
     "partition",
     "VantageIndex",
     "select_vantage_points",

@@ -22,6 +22,12 @@ __all__ = ["PartitionResult", "partition", "select_pivots"]
 
 DistanceFn = Callable[[Trajectory, Trajectory], float]
 
+#: Batched column of the diversity distance: ``rows(ts, s)`` returns
+#: ``[distance(t, s) for t in ts]`` in one call.  Alg. 1 only ever needs
+#: whole columns against one pivot, which is exactly the batch-first
+#: lockstep shape of :func:`repro.core.edwp_sub.edwp_sub_fast_queries`.
+DistanceRowsFn = Callable[[Sequence[Trajectory], Trajectory], List[float]]
+
 
 @dataclass
 class PartitionResult:
@@ -43,12 +49,22 @@ class PartitionResult:
     boxseqs: List[TBoxSeq] = field(default_factory=list)
 
 
+def _rows_fallback(
+    distance: DistanceFn, distance_rows: Optional[DistanceRowsFn]
+) -> DistanceRowsFn:
+    """The column evaluator: batched hook when given, else a plain loop."""
+    if distance_rows is not None:
+        return distance_rows
+    return lambda ts, s: [distance(t, s) for t in ts]
+
+
 def select_pivots(
     trajectories: Sequence[Trajectory],
     theta: float,
     rng: random.Random,
     distance: DistanceFn = edwp_sub_fast,
     max_pivots: Optional[int] = None,
+    distance_rows: Optional[DistanceRowsFn] = None,
 ) -> List[int]:
     """Greedy max-min diverse pivot selection (Alg. 1, lines 3-8).
 
@@ -58,6 +74,11 @@ def select_pivots(
     for a candidate is ``1 - min_dist(candidate, P) / min_pairwise(P)``
     (line 6): once new pivots stop being meaningfully different from the
     existing ones, growth stops.
+
+    ``distance_rows`` (optional) evaluates a whole distance column against
+    one pivot in a single call; every new pivot needs exactly one such
+    column, so a batched evaluator turns the k-center sweep's hot loop
+    into lockstep kernel calls without changing any selection decision.
     """
     n = len(trajectories)
     if n == 0:
@@ -66,6 +87,7 @@ def select_pivots(
         return [0]
     if max_pivots is None:
         max_pivots = n
+    rows = _rows_fallback(distance, distance_rows)
 
     seed = rng.randrange(n)
     pivots = [seed]
@@ -76,18 +98,16 @@ def select_pivots(
 
     def update_with(pivot: int) -> None:
         nonlocal min_pairwise
+        col = rows(trajectories, trajectories[pivot])
         for i in range(n):
             if i == pivot:
                 min_dist[i] = 0.0
                 continue
-            d = distance(trajectories[i], trajectories[pivot])
-            if d < min_dist[i]:
-                min_dist[i] = d
+            if col[i] < min_dist[i]:
+                min_dist[i] = col[i]
         for p in pivots:
-            if p != pivot:
-                d = distance(trajectories[p], trajectories[pivot])
-                if d < min_pairwise:
-                    min_pairwise = d
+            if p != pivot and col[p] < min_pairwise:
+                min_pairwise = col[p]
 
     update_with(seed)
 
@@ -119,6 +139,7 @@ def partition(
     distance: DistanceFn = edwp_sub_fast,
     max_boxes: int = DEFAULT_MAX_BOXES,
     max_pivots: Optional[int] = None,
+    distance_rows: Optional[DistanceRowsFn] = None,
 ) -> Optional[PartitionResult]:
     """Algorithm 1: split a node's trajectories into diverse groups.
 
@@ -128,7 +149,9 @@ def partition(
 
     Parameters mirror the paper: ``theta`` is the diversity-drop threshold
     (default 0.8, the paper's tuned value — Fig. 6b), ``min_node_size`` the
-    minimum node size ``n`` (default 10, Sec. V-A).
+    minimum node size ``n`` (default 10, Sec. V-A).  ``distance_rows``
+    (optional) batches whole distance columns against one trajectory — see
+    :func:`select_pivots`; all grouping decisions are unchanged.
     """
     if rng is None:
         rng = random.Random(0)
@@ -136,11 +159,13 @@ def partition(
     if n <= min_node_size:
         return None
 
-    pivots = select_pivots(trajectories, theta, rng, distance, max_pivots)
+    pivots = select_pivots(trajectories, theta, rng, distance, max_pivots,
+                           distance_rows=distance_rows)
     if len(pivots) < 2:
         # A degenerate pivot set cannot split the node; fall back to two
         # pivots (seed + farthest) so the tree always makes progress.
-        pivots = _forced_two_pivots(trajectories, rng, distance)
+        pivots = _forced_two_pivots(trajectories, rng, distance,
+                                    distance_rows=distance_rows)
         if len(pivots) < 2:
             return None
 
@@ -175,15 +200,15 @@ def partition(
     # the whole node into that group, degenerating the tree.  Fall back to
     # nearest-pivot assignment in that case.
     if len(groups) > 1 and max(len(g) for g in groups) > 0.8 * n:
+        rows = _rows_fallback(distance, distance_rows)
+        # One batched column per pivot; selection (first strict minimum
+        # over pivots) matches the per-pair min(range, key=...) exactly.
+        cols = [rows(trajectories, trajectories[p]) for p in pivots]
         groups = [[p] for p in pivots]
         for i in range(n):
             if i in pivot_set:
                 continue
-            traj = trajectories[i]
-            best_g = min(
-                range(len(pivots)),
-                key=lambda g: distance(traj, trajectories[pivots[g]]),
-            )
+            best_g = min(range(len(pivots)), key=lambda g: cols[g][i])
             groups[best_g].append(i)
         boxseqs = [
             TBoxSeq.from_trajectories(
@@ -199,18 +224,21 @@ def _forced_two_pivots(
     trajectories: Sequence[Trajectory],
     rng: random.Random,
     distance: DistanceFn,
+    distance_rows: Optional[DistanceRowsFn] = None,
 ) -> List[int]:
     """Seed + farthest-from-seed, ignoring θ — used when Alg. 1 stalls."""
     n = len(trajectories)
     seed = rng.randrange(n)
+    col = _rows_fallback(distance, distance_rows)(
+        trajectories, trajectories[seed]
+    )
     best = None
     best_d = -1.0
     for i in range(n):
         if i == seed:
             continue
-        d = distance(trajectories[i], trajectories[seed])
-        if d > best_d:
-            best_d = d
+        if col[i] > best_d:
+            best_d = col[i]
             best = i
     if best is None:
         return [seed]

@@ -26,8 +26,11 @@ PathLike = Union[str, Path]
 
 _MAGIC = "repro-trajtree"
 #: bumped together with the package version when index layout changes
-#: (1.1.0: TrajTree.backend attribute + Trajectory coordinate-cache slot)
-_FORMAT_VERSION = "1.1.0"
+#: (1.1.0: TrajTree.backend attribute + Trajectory coordinate-cache slot;
+#: 1.2.0: TBoxSeq geometry-cache slot + TrajTreeStats counter layout — the
+#: cache itself is excluded from pickles, but the slot changes the state
+#: shape old readers expect, exactly like the Trajectory bump before it)
+_FORMAT_VERSION = "1.2.0"
 
 
 def _fingerprint(tree: TrajTree) -> dict:

@@ -9,6 +9,13 @@ shortest thing inside it.
 
 Boxes only ever *grow* (inserting trajectories into a TrajTree node expands
 boxes), so the class is immutable and expansion returns new instances.
+
+The scalar geometry here (``dist_point``, ``project_on_segment``) is the
+reference formulation consumed by the pure-Python bound DP; the vectorized
+``"numpy"`` bound backend consumes whole box sequences as aligned arrays
+instead (``TBoxSeq.geometry()`` / :mod:`repro.index.fast_bounds` — see
+DESIGN.md, "Index bound kernels") and mirrors these operations
+element-wise.
 """
 
 from __future__ import annotations

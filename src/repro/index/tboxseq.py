@@ -39,12 +39,21 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.edwp import _spatial_points
+import numpy as np
+
+from ..core.edwp import _spatial_points, resolve_backend
 from ..core.geometry import Point, point_distance
 from ..core.trajectory import Trajectory
+from . import fast_bounds
 from .stbox import STBox
 
-__all__ = ["TBoxSeq", "BoxEdit", "edwp_sub_box", "edwp_sub_box_alignment"]
+__all__ = [
+    "TBoxSeq",
+    "BoxEdit",
+    "edwp_sub_box",
+    "edwp_sub_box_many",
+    "edwp_sub_box_alignment",
+]
 
 _REP = 0
 _INS_T = 1  # trajectory splits; the box is consumed
@@ -70,14 +79,22 @@ class BoxEdit:
 
 
 class TBoxSeq:
-    """A sequence of st-boxes summarizing a set of trajectories (Def. 5)."""
+    """A sequence of st-boxes summarizing a set of trajectories (Def. 5).
 
-    __slots__ = ("boxes",)
+    Instances are immutable by convention: construction operations
+    (:meth:`with_trajectory`, :meth:`compacted`) return new sequences.
+    That convention is what makes the per-instance :meth:`geometry` cache
+    sound — a new sequence starts with an empty cache, so the cached
+    arrays can never go stale.
+    """
+
+    __slots__ = ("boxes", "_geom")
 
     def __init__(self, boxes: Sequence[STBox]):
         if not boxes:
             raise ValueError("a tBoxSeq needs at least one box")
         self.boxes = list(boxes)
+        self._geom: Optional[fast_bounds.BoxGeometry] = None
 
     def __len__(self) -> int:
         return len(self.boxes)
@@ -88,10 +105,41 @@ class TBoxSeq:
     def __repr__(self) -> str:
         return f"TBoxSeq(n={len(self.boxes)}, volume={self.volume:.3g})"
 
+    def __getstate__(self):
+        # The geometry cache is derived data: dropping it keeps pickles
+        # (index snapshots) lean and rebuilds lazily after load.
+        return (self.boxes,)
+
+    def __setstate__(self, state) -> None:
+        if len(state) == 2 and isinstance(state[1], dict):
+            # Legacy pickles (pre geometry-cache) carry the default slots
+            # state ``(None, {slot: value})``.  Accept it so old index
+            # snapshots decode far enough to reach the persistence layer's
+            # version check instead of dying inside pickle.load.
+            self.boxes = state[1]["boxes"]
+        else:
+            (self.boxes,) = state
+        self._geom = None
+
+    def geometry(self) -> fast_bounds.BoxGeometry:
+        """Cached array form of the boxes (see ``repro.index.fast_bounds``).
+
+        Built on first use and reused for every subsequent bound against
+        this sequence.  Construction never mutates a sequence in place —
+        ``with_trajectory``/``compacted`` return fresh instances whose
+        caches start empty — and pickling drops the cache
+        (:meth:`__getstate__`), so the arrays always describe ``boxes``.
+        """
+        geom = self._geom
+        if geom is None:
+            geom = fast_bounds.box_geometry(self.boxes)
+            self._geom = geom
+        return geom
+
     @property
     def volume(self) -> float:
-        """``Vol(B)``: sum of the box areas (Definition 5)."""
-        return sum(box.area for box in self.boxes)
+        """``Vol(B)``: sum of the box areas (Definition 5), as one array op."""
+        return float(self.geometry().areas.sum())
 
     # ------------------------------------------------------------------ #
     # construction (Sec. IV-B)
@@ -103,12 +151,27 @@ class TBoxSeq:
     ) -> "TBoxSeq":
         """Initial tBoxSeq: one tight box per st-segment, then compacted.
 
-        ``createTBoxSeq(T1)`` of the paper's iterative procedure.
+        ``createTBoxSeq(T1)`` of the paper's iterative procedure.  The
+        per-segment boxes and the compaction sweep both run as array ops
+        (builds construct one of these per indexed trajectory *per pivot
+        candidate*, so the object churn of the naive form was a measurable
+        slice of build time); the resulting boxes are identical to the
+        box-object formulation.
         """
         if traj.num_segments == 0:
             raise ValueError("cannot summarize a trajectory with no segments")
-        boxes = [STBox.from_segment(seg) for seg in traj.segments()]
-        return TBoxSeq(boxes).compacted(max_boxes)
+        coords = traj.coords()
+        a = coords[:-1]
+        b = coords[1:]
+        arrays = _compact_arrays(
+            np.minimum(a[:, 0], b[:, 0]),
+            np.minimum(a[:, 1], b[:, 1]),
+            np.maximum(a[:, 0], b[:, 0]),
+            np.maximum(a[:, 1], b[:, 1]),
+            np.hypot(b[:, 0] - a[:, 0], b[:, 1] - a[:, 1]),
+            max_boxes,
+        )
+        return TBoxSeq(_boxes_from_arrays(*arrays))
 
     @staticmethod
     def from_trajectories(
@@ -150,21 +213,60 @@ class TBoxSeq:
         return self.with_trajectory(traj).volume - self.volume
 
     def compacted(self, max_boxes: int) -> "TBoxSeq":
-        """Merge adjacent boxes (cheapest union first) until within budget."""
+        """Merge adjacent boxes (cheapest union first) until within budget.
+
+        The greedy sweep scores every adjacent union as one array
+        expression per round (``argmin``'s first-occurrence rule matches
+        the scalar loop's strict-``<`` selection), merging in place on the
+        geometry arrays and materializing boxes only once at the end.
+        """
         if len(self.boxes) <= max_boxes:
             return self
-        boxes = list(self.boxes)
-        while len(boxes) > max_boxes:
-            best_i = 0
-            best_growth = math.inf
-            for i in range(len(boxes) - 1):
-                union = boxes[i].union(boxes[i + 1])
-                growth = union.area - boxes[i].area - boxes[i + 1].area
-                if growth < best_growth:
-                    best_growth = growth
-                    best_i = i
-            boxes[best_i: best_i + 2] = [boxes[best_i].union(boxes[best_i + 1])]
-        return TBoxSeq(boxes)
+        g = self.geometry()
+        arrays = _compact_arrays(
+            g.xmin.copy(), g.ymin.copy(), g.xmax.copy(), g.ymax.copy(),
+            g.min_len.copy(), max_boxes,
+        )
+        return TBoxSeq(_boxes_from_arrays(*arrays))
+
+
+def _compact_arrays(x0, y0, x1, y1, ml, max_boxes: int):
+    """Greedy adjacent-union compaction on raw geometry arrays.
+
+    Merge decisions are float-identical to the scalar box formulation:
+    union extents are the same ``min``/``max`` expressions, growth is
+    ``union_area - area_i - area_{i+1}`` in the same association order,
+    and ``np.argmin`` keeps the first minimum exactly like the scalar
+    loop's strict-``<`` scan.
+    """
+    while x0.shape[0] > max_boxes:
+        ux0 = np.minimum(x0[:-1], x0[1:])
+        uy0 = np.minimum(y0[:-1], y0[1:])
+        ux1 = np.maximum(x1[:-1], x1[1:])
+        uy1 = np.maximum(y1[:-1], y1[1:])
+        area = (x1 - x0) * (y1 - y0)
+        growth = (ux1 - ux0) * (uy1 - uy0) - area[:-1] - area[1:]
+        i = int(np.argmin(growth))
+        x0[i] = ux0[i]
+        y0[i] = uy0[i]
+        x1[i] = ux1[i]
+        y1[i] = uy1[i]
+        ml[i] = min(ml[i], ml[i + 1])
+        keep = i + 1
+        x0 = np.delete(x0, keep)
+        y0 = np.delete(y0, keep)
+        x1 = np.delete(x1, keep)
+        y1 = np.delete(y1, keep)
+        ml = np.delete(ml, keep)
+    return x0, y0, x1, y1, ml
+
+
+def _boxes_from_arrays(x0, y0, x1, y1, ml) -> List[STBox]:
+    """Materialize :class:`STBox` objects from aligned geometry arrays."""
+    return [
+        STBox(float(a), float(b), float(c), float(d), float(e))
+        for a, b, c, d, e in zip(x0, y0, x1, y1, ml)
+    ]
 
 
 # ---------------------------------------------------------------------- #
@@ -304,7 +406,12 @@ def _box_dp(
     return cost, parents, pos
 
 
-def edwp_sub_box(traj: Trajectory, seq: TBoxSeq, thorough: bool = False) -> float:
+def edwp_sub_box(
+    traj: Trajectory,
+    seq: TBoxSeq,
+    thorough: bool = False,
+    backend: Optional[str] = None,
+) -> float:
     """``EDwPsub(T, B)`` for a box sequence — the Theorem-2 lower bound.
 
     Returns 0 for a trajectory with no segments (nothing to align).
@@ -315,9 +422,21 @@ def edwp_sub_box(traj: Trajectory, seq: TBoxSeq, thorough: bool = False) -> floa
     pass is what query-time pruning uses — half the cost, and still an
     empirical underestimate of ``EDwP(Q, T)`` (validated by the Theorem-2
     property tests).
+
+    ``backend`` overrides the global backend (see
+    :func:`repro.core.set_backend`): ``"python"`` runs the reference DP in
+    this module, ``"numpy"`` the vectorized kernel of
+    :mod:`repro.index.fast_bounds` (same value to float tolerance).  For
+    bounding one query against *many* sequences use
+    :func:`edwp_sub_box_many`, which is where the numpy backend's lockstep
+    batching pays off.
     """
     if traj.num_segments == 0:
         return 0.0
+    if resolve_backend(backend) == "numpy":
+        return fast_bounds.edwp_sub_box_numpy(
+            traj, seq.geometry(), thorough=thorough
+        )
     pts = _spatial_points(traj)
     n = len(pts) - 1
     free, _, _ = _box_dp(pts, seq.boxes, keep_parents=False)
@@ -327,6 +446,34 @@ def edwp_sub_box(traj: Trajectory, seq: TBoxSeq, thorough: bool = False) -> floa
                                  free_start_row=False)
         value = min(value, min(anchored[n]))
     return value
+
+
+def edwp_sub_box_many(
+    traj: Trajectory,
+    seqs: Sequence[TBoxSeq],
+    thorough: bool = False,
+    backend: Optional[str] = None,
+) -> List[float]:
+    """Theorem-2 bounds of one trajectory against many box sequences.
+
+    The batched entry point of the index bound: on the ``"numpy"`` backend
+    all sequences run through the lockstep kernel
+    (:func:`repro.index.fast_bounds.edwp_sub_box_many_numpy`) in padded
+    chunks, reusing each sequence's cached geometry arrays; on
+    ``"python"`` it is a plain loop over the reference DP.  TrajTree's
+    frontier batching routes every child-bound computation through this.
+    """
+    seqs = list(seqs)
+    if traj.num_segments == 0:
+        return [0.0] * len(seqs)
+    if resolve_backend(backend) == "numpy":
+        return fast_bounds.edwp_sub_box_many_numpy(
+            traj, [seq.geometry() for seq in seqs], thorough=thorough
+        )
+    return [
+        edwp_sub_box(traj, seq, thorough=thorough, backend="python")
+        for seq in seqs
+    ]
 
 
 def edwp_sub_box_alignment(

@@ -32,25 +32,68 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.edwp import _normalize, edwp, edwp_many
-from ..core.edwp_sub import edwp_sub, edwp_sub_fast
-from ..core.geometry import polyline_rect_distance
+from ..core.edwp_sub import (
+    edwp_sub,
+    edwp_sub_fast,
+    edwp_sub_fast_queries,
+    edwp_sub_many,
+)
+from ..core.geometry import polyline_rect_distance, polyline_rects_distance
 from ..core.trajectory import Trajectory
 from .partition import partition
-from .tboxseq import DEFAULT_MAX_BOXES, TBoxSeq, edwp_sub_box
+from .tboxseq import DEFAULT_MAX_BOXES, TBoxSeq, edwp_sub_box, edwp_sub_box_many
 from .vantage import VantageIndex
 
 __all__ = ["TrajTree", "TrajTreeStats"]
 
+#: Deferred leaf refinements are flushed through one batched exact-distance
+#: kernel call once this many members accumulate (or earlier, whenever a
+#: pruning decision needs a fresh k-th distance).  Bounds the staleness of
+#: the answer heap: at most this many extra members can be refined relative
+#: to the fully sequential formulation (in practice none — see
+#: tests/test_trajtree_stats.py).
+REFINE_FLUSH = 128
+
 
 @dataclass
 class TrajTreeStats:
-    """Counters describing one query or the tree shape."""
+    """Counters describing one query or the tree shape.
+
+    The query-time counters obey an exact accounting contract (asserted by
+    ``tests/test_trajtree_stats.py``) so that fig6-style ablations can
+    trust them:
+
+    * Every node the search *considers* (the root plus the children of
+      every visited internal node) is counted in exactly one of
+      ``nodes_visited`` (dequeued and processed) or ``nodes_pruned``
+      (discarded — by the quick bound, by the box bound, or in bulk when
+      the best-first frontier's minimum bound passes the k-th distance).
+    * ``quick_bound_computations`` counts union-rectangle pre-filter
+      evaluations and ``bound_computations`` counts box-DP bound
+      evaluations — a batched kernel call over ``c`` nodes adds ``c``.
+      Quick-bound prunes therefore do *not* touch ``bound_computations``
+      (no DP ran for them).
+    * ``exact_computations`` counts exact distances actually evaluated
+      (VP-offered candidates and refined leaf members).
+      ``members_pruned`` counts leaf members skipped by the per-member
+      re-normalized bound *instead of* being refined, so for ``knn`` over
+      a freshly built tree, refined + member-pruned covers every member
+      of every visited leaf exactly once.
+    * The counters do not depend on the distance backend: both backends
+      drive the identical traversal (batched leaf refinement included —
+      see DESIGN.md, "Batched leaf refinement"), so python/numpy runs of
+      the same query report the same numbers.
+    """
 
     nodes_visited: int = 0
     nodes_pruned: int = 0
     exact_computations: int = 0
     bound_computations: int = 0
+    quick_bound_computations: int = 0
+    members_pruned: int = 0
     vp_rankings: int = 0
 
 
@@ -77,12 +120,22 @@ class _Node:
         self.max_length = max_length      # max trajectory length in subtree
         self.subtree_ids = subtree_ids    # all ids under this node
         self.depth = depth                # root = 0
-        # union rectangle over all boxes: feeds the cheap pre-filter bound
+        self.refresh_union_rect()
+
+    def refresh_union_rect(self) -> None:
+        """Union rectangle over all boxes: feeds the cheap pre-filter bound.
+
+        Must be re-derived whenever ``boxseq`` is replaced (dynamic
+        inserts grow the boxes): a stale, smaller rectangle would
+        *overestimate* the rectangle distance and break the quick bound's
+        underestimate guarantee.
+        """
+        g = self.boxseq.geometry()
         self.union_rect = (
-            min(b.xmin for b in boxseq.boxes),
-            min(b.ymin for b in boxseq.boxes),
-            max(b.xmax for b in boxseq.boxes),
-            max(b.ymax for b in boxseq.boxes),
+            float(g.xmin.min()),
+            float(g.ymin.min()),
+            float(g.xmax.max()),
+            float(g.ymax.max()),
         )
 
     @property
@@ -214,6 +267,7 @@ class TrajTree:
             distance=self._pivot_distance,
             max_boxes=self.max_boxes,
             max_pivots=self.max_branching,
+            distance_rows=self._pivot_distance_rows,
         )
         if result is None or len(result.groups) < 2:
             return _Node(boxseq, vantage, [], list(ids), max_length,
@@ -315,6 +369,18 @@ class TrajTree:
         """Build-time diversity distance (Alg. 1), on this tree's backend."""
         return edwp_sub_fast(a, b, backend=self.backend)
 
+    def _pivot_distance_rows(
+        self, trajs: Sequence[Trajectory], pivot: Trajectory
+    ) -> List[float]:
+        """A whole diversity-distance column against one pivot, batched.
+
+        Alg. 1's hot loop: on the ``"numpy"`` backend the column runs
+        through the batch-first lockstep kernel (bit-identical to the
+        per-pair numpy values), on ``"python"`` it loops — so pivot
+        selections never depend on whether batching is available.
+        """
+        return edwp_sub_fast_queries(trajs, pivot, backend=self.backend)
+
     def _exact(self, query: Trajectory, traj: Trajectory) -> float:
         d = edwp(query, traj, backend=self.backend)
         if not self.normalized:
@@ -332,34 +398,94 @@ class TrajTree:
             backend=self.backend,
         )
 
-    def _bound(self, query: Trajectory, node: _Node) -> float:
-        lb = edwp_sub_box(query, node.boxseq)
-        if not self.normalized:
+    def _normalize_bound(
+        self, query: Trajectory, node: _Node, lb: float, normalized: bool
+    ) -> float:
+        if not normalized:
             return lb
         denom = query.length + node.max_length
         if denom <= 0.0:
             return 0.0
         return lb / denom
 
+    def _bound(self, query: Trajectory, node: _Node) -> float:
+        """Theorem-2 lower bound of one node (a batch of one)."""
+        return self._bounds_many(query, [node])[0]
+
+    def _bounds_many_raw(
+        self, query: Trajectory, nodes: Sequence[_Node]
+    ) -> List[float]:
+        """Raw (unnormalized) box-DP bounds, one batched kernel call.
+
+        On the ``"numpy"`` backend all nodes run through the lockstep
+        kernel of :mod:`repro.index.fast_bounds`; on ``"python"`` the
+        reference DP runs per node.
+        """
+        return edwp_sub_box_many(
+            query, [node.boxseq for node in nodes], backend=self.backend
+        )
+
+    def _bounds_many(
+        self,
+        query: Trajectory,
+        nodes: Sequence[_Node],
+        normalized: Optional[bool] = None,
+    ) -> List[float]:
+        """Box-DP lower bounds of many nodes in one batched kernel call.
+
+        ``normalized`` overrides the tree's normalization
+        (``subtrajectory_knn`` reports raw EDwPsub, so it passes
+        ``False``).
+        """
+        if normalized is None:
+            normalized = self.normalized
+        lbs = self._bounds_many_raw(query, nodes)
+        return [
+            self._normalize_bound(query, node, lb, normalized)
+            for node, lb in zip(nodes, lbs)
+        ]
+
     def _quick_bound(self, query: Trajectory, node: _Node) -> float:
-        """Cheap pre-filter lower bound.
+        """Cheap pre-filter lower bound (a batch of one)."""
+        return self._quick_bounds_many(query, [node])[0]
+
+    def _quick_bounds_many_raw(
+        self, query: Trajectory, nodes: Sequence[_Node]
+    ) -> List[float]:
+        """Raw quick bounds, one vectorized pass for all nodes.
 
         Every EDwP edit costs ``(d(start) + d(end)) * coverage`` with both
         positions on the query polyline and coverage at least the query
         piece length; pieces tile the query, so
         ``EDwP >= 2 * dist(polyline(Q), boxes) * length(Q)``.  The union
-        rectangle of the node's boxes underestimates the box distance, so
-        the whole expression stays a lower bound — computed with one
-        vectorized geometry call instead of a DP.
+        rectangle of a node's boxes underestimates the box distance, so
+        the expression stays a lower bound.  The same argument covers raw
+        ``EDwPsub``: sub-matching skips target prefix/suffix cost but
+        still consumes the whole query, and every position on a summarized
+        trajectory lies inside the node's boxes.  All rectangle distances
+        are computed in one
+        :func:`repro.core.geometry.polyline_rects_distance` call.
         """
-        dmin = polyline_rect_distance(query.spatial(), *node.union_rect)
-        lb = 2.0 * dmin * query.length
-        if not self.normalized:
-            return lb
-        denom = query.length + node.max_length
-        if denom <= 0.0:
-            return 0.0
-        return lb / denom
+        rects = np.array([node.union_rect for node in nodes])
+        dmins = polyline_rects_distance(query.spatial(), rects)
+        q_len = query.length
+        return [2.0 * dmin * q_len for dmin in dmins]
+
+    def _quick_bounds_many(
+        self,
+        query: Trajectory,
+        nodes: Sequence[_Node],
+        normalized: Optional[bool] = None,
+    ) -> List[float]:
+        """Normalized form of :meth:`_quick_bounds_many_raw`."""
+        if normalized is None:
+            normalized = self.normalized
+        return [
+            self._normalize_bound(query, node, raw, normalized)
+            for node, raw in zip(
+                nodes, self._quick_bounds_many_raw(query, nodes)
+            )
+        ]
 
     # ------------------------------------------------------------------ #
     # querying (Alg. 2)
@@ -384,71 +510,124 @@ class TrajTree:
             stats = TrajTreeStats()
 
         counter = itertools.count()
-        cands: List[Tuple[float, int, _Node]] = []
-        heapq.heappush(cands, (0.0, next(counter), self.root))
+        # Heap entries carry both the (possibly normalized) bound ordering
+        # the search pops by and the raw bound, which leaf refinement
+        # re-normalizes per member (a member's true length can be far below
+        # the subtree's max_length, making the per-member bound tighter).
+        cands: List[Tuple[float, int, _Node, float]] = []
+        heapq.heappush(cands, (0.0, next(counter), self.root, 0.0))
 
         # ans: max-heap of size <= k holding (-dist, -traj_id); ties resolve
         # by trajectory id so results match the sequential-scan oracle.
         ans: List[Tuple[float, int]] = []
         processed: set = set()
+        pending: List[int] = []
+        q_len = query.length
 
         def kth() -> float:
             return -ans[0][0] if len(ans) >= k else math.inf
 
         def offer_value(tid: int, d: float) -> None:
-            processed.add(tid)
             stats.exact_computations += 1
             if len(ans) < k:
                 heapq.heappush(ans, (-d, -tid))
             elif (d, tid) < (-ans[0][0], -ans[0][1]):
                 heapq.heapreplace(ans, (-d, -tid))
 
-        def offer(tid: int) -> None:
-            if tid in processed:
+        def flush() -> None:
+            """Refine every deferred member in one batched kernel call."""
+            if not pending:
                 return
-            offer_value(tid, self._exact(query, self._db[tid]))
+            for tid, d in zip(pending, self._exact_many(query, pending)):
+                offer_value(tid, d)
+            pending.clear()
 
         while cands:
-            bound, _, node = heapq.heappop(cands)
+            bound, _, node, raw = heapq.heappop(cands)
             if bound > kth():
                 # min-heap order: every remaining candidate is also pruned.
                 # (Strict comparison: an equal bound could still hide an
-                # equal-distance trajectory that wins the id tie-break.)
+                # equal-distance trajectory that wins the id tie-break.
+                # kth() without the deferred members is an upper bound on
+                # the true k-th distance, so the break stays sound.)
                 stats.nodes_pruned += 1 + len(cands)
                 break
             stats.nodes_visited += 1
 
-            # Step 1 (Alg. 2 lines 8-10): refine the upper bound via VPs.
+            # Step 1 (Alg. 2 lines 8-10): refine the upper bound via VPs,
+            # batched through the same deferral buffer (flushed at once so
+            # the upper bound tightens before any pruning decision).
             if node.vantage is not None and len(node.vantage) > 0:
                 stats.vp_rankings += 1
                 qdesc = node.vantage.describe(query)
-                for tid, _vd in node.vantage.top_k(qdesc, k, exclude=processed):
-                    offer(tid)
+                for tid, _vd in node.vantage.top_k(qdesc, k,
+                                                   exclude=processed):
+                    processed.add(tid)
+                    pending.append(tid)
+                flush()
 
             if node.is_leaf:
-                # Exact distances for the few remaining members, batched so
-                # the numpy backend's lockstep kernel covers the whole leaf.
-                fresh = [t for t in node.member_ids if t not in processed]
-                for tid, d in zip(fresh, self._exact_many(query, fresh)):
-                    offer_value(tid, d)
+                # Defer the members: consecutive leaf pops accumulate into
+                # one lockstep kernel call (see DESIGN.md, "Batched leaf
+                # refinement").  Deferral can only delay kth() updates, so
+                # every decision made in the meantime is conservative —
+                # results are still exact.
+                limit = kth()
+                for tid in node.member_ids:
+                    if tid in processed:
+                        continue
+                    if self.normalized and raw > 0.0:
+                        denom = q_len + self._db[tid].length
+                        if denom > 0.0 and raw / denom > limit:
+                            stats.members_pruned += 1
+                            continue
+                    processed.add(tid)
+                    pending.append(tid)
+                if len(pending) >= REFINE_FLUSH:
+                    flush()
                 continue
 
             # Step 2 (lines 11-13): enqueue children that can still matter.
-            for child in node.children:
-                quick = (
-                    self._quick_bound(query, child)
-                    if self.use_quick_bound else 0.0
+            # Flush first so the k-th distance is fresh, then compute all
+            # children's quick bounds and all surviving children's box
+            # bounds in one batched kernel call each (the answer heap does
+            # not change below, so the k-th distance is a loop constant and
+            # batching is decision-identical to the sequential per-child
+            # formulation).
+            flush()
+            children = node.children
+            limit = kth()
+            if self.use_quick_bound:
+                stats.quick_bound_computations += len(children)
+                quick_raws = self._quick_bounds_many_raw(query, children)
+            else:
+                quick_raws = [0.0] * len(children)
+            survivors = [
+                (child, qraw)
+                for child, qraw in zip(children, quick_raws)
+                if self._normalize_bound(query, child, qraw, self.normalized)
+                <= limit
+            ]
+            stats.nodes_pruned += len(children) - len(survivors)
+            if not survivors:
+                continue
+            stats.bound_computations += len(survivors)
+            box_raws = self._bounds_many_raw(
+                query, [c for c, _ in survivors]
+            )
+            for (child, qraw), braw in zip(survivors, box_raws):
+                child_raw = max(qraw, braw)
+                lb = self._normalize_bound(
+                    query, child, child_raw, self.normalized
                 )
-                if quick > kth():
-                    stats.nodes_pruned += 1
-                    continue
-                stats.bound_computations += 1
-                lb = max(quick, self._bound(query, child))
-                if lb <= kth():
-                    heapq.heappush(cands, (lb, next(counter), child))
+                if lb <= limit:
+                    heapq.heappush(
+                        cands, (lb, next(counter), child, child_raw)
+                    )
                 else:
                     stats.nodes_pruned += 1
 
+        flush()
         result = sorted((( -negid, -negd) for negd, negid in ans),
                         key=lambda x: (x[1], x[0]))
         return [(tid, d) for tid, d in result]
@@ -505,28 +684,46 @@ class TrajTree:
         if stats is None:
             stats = TrajTreeStats()
 
+        # Wave traversal: the radius never changes, so whole frontiers can
+        # be filtered at once — one batched quick-bound call, one batched
+        # box-bound call, and one batched exact-refinement call over every
+        # surviving leaf's members per level.
         out: List[Tuple[int, float]] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            stats.nodes_visited += 1
-            if self.use_quick_bound and self._quick_bound(query, node) > radius:
-                stats.nodes_pruned += 1
-                continue
-            stats.bound_computations += 1
-            if self._bound(query, node) > radius:
-                stats.nodes_pruned += 1
-                continue
-            if node.is_leaf:
-                ds = self._exact_many(query, node.member_ids)
-                stats.exact_computations += len(node.member_ids)
-                out.extend(
-                    (tid, d)
-                    for tid, d in zip(node.member_ids, ds)
-                    if d <= radius
-                )
+        frontier: List[_Node] = [self.root]
+        while frontier:
+            if self.use_quick_bound:
+                stats.quick_bound_computations += len(frontier)
+                quicks = self._quick_bounds_many(query, frontier)
+                survivors = [
+                    node
+                    for node, quick in zip(frontier, quicks)
+                    if quick <= radius
+                ]
+                stats.nodes_pruned += len(frontier) - len(survivors)
             else:
-                stack.extend(node.children)
+                survivors = frontier
+            if not survivors:
+                break
+            stats.bound_computations += len(survivors)
+            bounds = self._bounds_many(query, survivors)
+            next_frontier: List[_Node] = []
+            leaf_ids: List[int] = []
+            for node, lb in zip(survivors, bounds):
+                if lb > radius:
+                    stats.nodes_pruned += 1
+                    continue
+                stats.nodes_visited += 1
+                if node.is_leaf:
+                    leaf_ids.extend(node.member_ids)
+                else:
+                    next_frontier.extend(node.children)
+            if leaf_ids:
+                ds = self._exact_many(query, leaf_ids)
+                stats.exact_computations += len(leaf_ids)
+                out.extend(
+                    (tid, d) for tid, d in zip(leaf_ids, ds) if d <= radius
+                )
+            frontier = next_frontier
         out.sort(key=lambda x: (x[1], x[0]))
         return out
 
@@ -544,25 +741,37 @@ class TrajTree:
         return out
 
     def subtrajectory_knn(
-        self, query: Trajectory, k: int
+        self,
+        query: Trajectory,
+        k: int,
+        stats: Optional[TrajTreeStats] = None,
     ) -> List[Tuple[int, float]]:
         """k trajectories containing the sub-trajectory most similar to
         ``query`` under ``EDwPsub`` (Eq. 6).
 
         The box-sequence bound underestimates ``EDwPsub(Q, T)`` for the
         same reason it underestimates ``EDwP(Q, T)`` (sub-alignment only
-        removes cost), so the best-first search carries over.  Distances
-        are raw ``EDwPsub`` values (length normalization is not meaningful
-        when only part of the target is matched).
+        removes cost), so the best-first search carries over — including
+        the quick union-rectangle pre-filter, which only relies on the
+        query being fully consumed (see :meth:`_quick_bounds_many`).
+        Distances are raw ``EDwPsub`` values (length normalization is not
+        meaningful when only part of the target is matched); leaf
+        refinement batches them through
+        :func:`repro.core.edwp_sub.edwp_sub_many`, and child bounds run
+        through the same batched box kernel as :meth:`knn`.  ``stats``
+        (optional) accumulates the same counters as :meth:`knn`.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         if query.num_segments == 0:
             raise ValueError("query needs at least one segment")
+        if stats is None:
+            stats = TrajTreeStats()
 
         counter = itertools.count()
         cands: List[Tuple[float, int, _Node]] = []
         heapq.heappush(cands, (0.0, next(counter), self.root))
+        pending: List[int] = []
         ans: List[Tuple[float, int]] = []
 
         def kth() -> float:
@@ -570,29 +779,70 @@ class TrajTree:
 
         processed: set = set()
 
-        def offer(tid: int) -> None:
-            if tid in processed:
-                return
-            processed.add(tid)
-            d = edwp_sub(query, self._db[tid], backend=self.backend)
+        def offer_value(tid: int, d: float) -> None:
+            stats.exact_computations += 1
             if len(ans) < k:
                 heapq.heappush(ans, (-d, -tid))
             elif (d, tid) < (-ans[0][0], -ans[0][1]):
                 heapq.heapreplace(ans, (-d, -tid))
 
+        def flush() -> None:
+            """Refine deferred members in one batched kernel call."""
+            if not pending:
+                return
+            ds = edwp_sub_many(
+                query, [self._db[t] for t in pending], backend=self.backend
+            )
+            for tid, d in zip(pending, ds):
+                offer_value(tid, d)
+            pending.clear()
+
         while cands:
             bound, _, node = heapq.heappop(cands)
             if bound > kth():
+                # kth() without the deferred members upper-bounds the true
+                # k-th distance, so the bulk prune stays sound.
+                stats.nodes_pruned += 1 + len(cands)
                 break
+            stats.nodes_visited += 1
             if node.is_leaf:
+                # Deferred, like knn: consecutive leaf pops accumulate into
+                # one lockstep EDwPsub call (DESIGN.md, "Batched leaf
+                # refinement").
                 for tid in node.member_ids:
-                    offer(tid)
+                    if tid not in processed:
+                        processed.add(tid)
+                        pending.append(tid)
+                if len(pending) >= REFINE_FLUSH:
+                    flush()
                 continue
-            for child in node.children:
-                lb = edwp_sub_box(query, child.boxseq)
-                if lb <= kth():
+            flush()
+            children = node.children
+            limit = kth()
+            if self.use_quick_bound:
+                stats.quick_bound_computations += len(children)
+                quicks = self._quick_bounds_many(
+                    query, children, normalized=False
+                )
+            else:
+                quicks = [0.0] * len(children)
+            survivors = [
+                child
+                for child, quick in zip(children, quicks)
+                if quick <= limit
+            ]
+            stats.nodes_pruned += len(children) - len(survivors)
+            if not survivors:
+                continue
+            stats.bound_computations += len(survivors)
+            bounds = self._bounds_many(query, survivors, normalized=False)
+            for child, lb in zip(survivors, bounds):
+                if lb <= limit:
                     heapq.heappush(cands, (lb, next(counter), child))
+                else:
+                    stats.nodes_pruned += 1
 
+        flush()
         result = sorted(((-negid, -negd) for negd, negid in ans),
                         key=lambda x: (x[1], x[0]))
         return [(tid, d) for tid, d in result]
@@ -600,11 +850,13 @@ class TrajTree:
     def subtrajectory_knn_scan(
         self, query: Trajectory, k: int
     ) -> List[Tuple[int, float]]:
-        """Brute-force ``EDwPsub`` oracle."""
-        dists = [
-            (tid, edwp_sub(query, t, backend=self.backend))
-            for tid, t in self._db.items()
-        ]
+        """Brute-force ``EDwPsub`` oracle, batched through
+        :func:`repro.core.edwp_sub.edwp_sub_many`."""
+        ids = list(self._db)
+        ds = edwp_sub_many(
+            query, [self._db[tid] for tid in ids], backend=self.backend
+        )
+        dists = list(zip(ids, ds))
         dists.sort(key=lambda x: (x[1], x[0]))
         return dists[:k]
 
@@ -633,12 +885,13 @@ class TrajTree:
             node.boxseq = node.boxseq.with_trajectory(
                 traj, max_boxes=self.max_boxes
             )
+            # The boxes just grew; the quick bound's union rectangle must
+            # grow with them or it would overestimate the box distance.
+            node.refresh_union_rect()
             node.max_length = max(node.max_length, traj.length)
             node.subtree_ids.append(traj_id)
             if node.vantage is not None:
                 node.vantage.keys.append(traj_id)
-                import numpy as np
-
                 row = node.vantage.describe(traj).reshape(1, -1)
                 node.vantage.descriptors = np.vstack(
                     [node.vantage.descriptors, row]
@@ -670,8 +923,6 @@ class TrajTree:
             return False
         node.subtree_ids.remove(traj_id)
         if node.vantage is not None and traj_id in node.vantage.keys:
-            import numpy as np
-
             idx = node.vantage.keys.index(traj_id)
             node.vantage.keys.pop(idx)
             node.vantage.descriptors = np.delete(

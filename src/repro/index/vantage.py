@@ -15,7 +15,10 @@ VP selection reuses the max-min diversity mechanism of pivot selection
 applied to sampled trajectory points.
 
 Descriptor computation is vectorized: for one trajectory all segment-to-VP
-distances are evaluated with numpy broadcasting.
+distances are evaluated with numpy broadcasting.  At query time the
+VP-ranked candidates feed TrajTree's deferred refinement buffer, so their
+exact distances run as one lockstep kernel batch rather than per pair
+(DESIGN.md, "Batched leaf refinement").
 """
 
 from __future__ import annotations

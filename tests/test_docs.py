@@ -31,6 +31,8 @@ def test_design_md_keeps_promised_sections():
         "## Dataset substitution table",
         "## Dual-backend EDwP kernels",
         "## Baseline kernels",
+        "## Index bound kernels",
+        "### Batched leaf refinement",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -42,6 +44,11 @@ def test_design_md_keeps_promised_sections():
                     "eps-threshold conventions", "corner cell",
                     "<= eps", "delta > 0", "DistanceSpec.symmetric"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the index-bound-kernels section must keep its sub-contracts
+    for keyword in ("repeating their final box", "geometry()",
+                    "distance_rows", "REFINE_FLUSH", "members_pruned",
+                    "fig6a_bound_gate"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # in-page anchors that README/docstrings point at must resolve to a
     # heading (GitHub slug rule: lowercase, spaces -> dashes)
     slugs = {
@@ -51,7 +58,8 @@ def test_design_md_keeps_promised_sections():
     }
     for anchor in ("baseline-kernels", "dual-backend-edwp-kernels",
                    "the-edwpsub-dp-realization", "trajtree-leaf-refinement",
-                   "dataset-substitution-table"):
+                   "dataset-substitution-table", "index-bound-kernels",
+                   "batched-leaf-refinement"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -72,5 +80,8 @@ def test_readme_covers_the_promised_ground():
         "repro.baselines.fast",
         "DESIGN.md#baseline-kernels",
         "bench_table1_features.py",
+        # the index bound engine's backend guide and gate
+        "DESIGN.md#index-bound-kernels",
+        "bench_fig6a_querytime_dbsize.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

@@ -1,0 +1,338 @@
+"""The vectorized index bound engine (``repro.index.fast_bounds``).
+
+Covers the ISSUE-5 contract: the batched/padded box-DP matches the
+reference ``_box_dp`` on random, single-segment, duplicate-point and
+empty-ish inputs; the Theorem-2 invariant ``bound <= exact`` holds under
+every backend; TrajTree ``knn``/``knn_scan`` results are identical
+across backends; and the batch-first pivot-selection kernel matches its
+per-pair form bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, edwp, use_backend
+from repro.core.edwp import BACKENDS
+from repro.core.edwp_sub import edwp_sub, edwp_sub_fast, edwp_sub_fast_queries
+from repro.index import TBoxSeq, TrajTree, edwp_sub_box, edwp_sub_box_many
+from repro.index import fast_bounds
+from repro.index.stbox import STBox
+
+from helpers import random_walk_trajectory
+
+
+def _random_seq(rng, num_trajs=3, points=8):
+    trajs = [random_walk_trajectory(rng, points) for _ in range(num_trajs)]
+    return TBoxSeq.from_trajectories(trajs), trajs
+
+
+class TestGeometryCache:
+    def test_geometry_matches_boxes(self, rng):
+        seq, _ = _random_seq(rng)
+        g = seq.geometry()
+        assert np.allclose(g.xmin, [b.xmin for b in seq.boxes])
+        assert np.allclose(g.ymax, [b.ymax for b in seq.boxes])
+        assert np.allclose(g.min_len, [b.min_len for b in seq.boxes])
+
+    def test_geometry_is_cached(self, rng):
+        seq, _ = _random_seq(rng)
+        assert seq.geometry() is seq.geometry()
+
+    def test_construction_returns_fresh_cache(self, rng):
+        """with_trajectory/compacted return new sequences whose cached
+        arrays describe the *new* boxes — the invalidation contract."""
+        seq, _ = _random_seq(rng)
+        _ = seq.geometry()
+        grown = seq.with_trajectory(random_walk_trajectory(rng, 6))
+        assert grown is not seq
+        g = grown.geometry()
+        assert np.allclose(g.xmin, [b.xmin for b in grown.boxes])
+        compact = TBoxSeq(list(grown.boxes) * 3).compacted(4)
+        gc = compact.geometry()
+        assert np.allclose(gc.xmax, [b.xmax for b in compact.boxes])
+
+    def test_pickle_drops_cache_and_rebuilds(self, rng):
+        import pickle
+
+        seq, _ = _random_seq(rng)
+        _ = seq.geometry()
+        clone = pickle.loads(pickle.dumps(seq))
+        assert clone._geom is None
+        assert np.allclose(clone.geometry().xmin, seq.geometry().xmin)
+        assert [b.xmin for b in clone.boxes] == [b.xmin for b in seq.boxes]
+
+    def test_volume_matches_box_sum(self, rng):
+        seq, _ = _random_seq(rng)
+        assert seq.volume == pytest.approx(
+            sum(b.area for b in seq.boxes), abs=1e-12
+        )
+
+
+class TestCompactionEquivalence:
+    """The array compaction must mirror the scalar box formulation."""
+
+    @staticmethod
+    def _scalar_compact(boxes, max_boxes):
+        import math
+
+        boxes = list(boxes)
+        while len(boxes) > max_boxes:
+            best_i = 0
+            best_growth = math.inf
+            for i in range(len(boxes) - 1):
+                union = boxes[i].union(boxes[i + 1])
+                growth = union.area - boxes[i].area - boxes[i + 1].area
+                if growth < best_growth:
+                    best_growth = growth
+                    best_i = i
+            boxes[best_i: best_i + 2] = [
+                boxes[best_i].union(boxes[best_i + 1])
+            ]
+        return boxes
+
+    def test_matches_scalar_sweep(self, rng):
+        for _ in range(10):
+            t = random_walk_trajectory(rng, int(rng.integers(4, 30)))
+            raw = [STBox.from_segment(seg) for seg in t.segments()]
+            for budget in (2, 5, 12):
+                want = self._scalar_compact(raw, budget)
+                got = TBoxSeq(raw).compacted(budget).boxes
+                assert len(got) == len(want)
+                for a, b in zip(got, want):
+                    assert a.xmin == b.xmin and a.xmax == b.xmax
+                    assert a.ymin == b.ymin and a.ymax == b.ymax
+                    assert a.min_len == b.min_len
+
+    def test_from_trajectory_matches_box_path(self, rng):
+        for _ in range(5):
+            t = random_walk_trajectory(rng, int(rng.integers(3, 25)))
+            via_boxes = TBoxSeq(
+                [STBox.from_segment(seg) for seg in t.segments()]
+            ).compacted(12)
+            via_arrays = TBoxSeq.from_trajectory(t, max_boxes=12)
+            assert len(via_boxes) == len(via_arrays)
+            for a, b in zip(via_arrays.boxes, via_boxes.boxes):
+                assert a.xmin == b.xmin and a.ymax == b.ymax
+                assert a.min_len == b.min_len
+
+
+class TestBoxDpEquivalence:
+    """numpy box-DP == reference ``_box_dp`` on every input shape."""
+
+    def _assert_matches(self, traj, seqs, thorough=False):
+        ref = [
+            edwp_sub_box(traj, s, thorough=thorough, backend="python")
+            for s in seqs
+        ]
+        single = [
+            edwp_sub_box(traj, s, thorough=thorough, backend="numpy")
+            for s in seqs
+        ]
+        batched = edwp_sub_box_many(
+            traj, seqs, thorough=thorough, backend="numpy"
+        )
+        for r, s, b in zip(ref, single, batched):
+            scale = max(1.0, abs(r))
+            assert abs(s - r) < 1e-9 * scale
+            assert abs(b - r) < 1e-9 * scale
+
+    def test_random(self, rng):
+        for _ in range(8):
+            q = random_walk_trajectory(rng, int(rng.integers(3, 20)))
+            seqs = [
+                _random_seq(rng, num_trajs=int(rng.integers(1, 4)),
+                            points=int(rng.integers(2, 10)))[0]
+                for _ in range(5)
+            ]
+            self._assert_matches(q, seqs)
+            self._assert_matches(q, seqs, thorough=True)
+
+    def test_single_segment_query(self, rng):
+        q = Trajectory.from_xy([(0.0, 0.0), (1.0, 2.0)])
+        seqs = [_random_seq(rng)[0] for _ in range(3)]
+        self._assert_matches(q, seqs)
+
+    def test_single_box_sequences(self, rng):
+        q = random_walk_trajectory(rng, 7)
+        seqs = [
+            TBoxSeq([STBox(0.0, 0.0, 1.0, 1.0, 0.5)]),
+            TBoxSeq([STBox(-3.0, 2.0, -1.0, 4.0, 1.0)]),
+        ]
+        self._assert_matches(q, seqs)
+
+    def test_duplicate_point_query(self, rng):
+        q = Trajectory.from_xy([(1.0, 1.0), (1.0, 1.0), (2.0, 3.0),
+                                (2.0, 3.0)])
+        seqs = [_random_seq(rng)[0] for _ in range(3)]
+        self._assert_matches(q, seqs)
+
+    def test_degenerate_point_boxes(self, rng):
+        """Zero-area boxes (from zero-length segments) still match."""
+        q = random_walk_trajectory(rng, 6)
+        seqs = [TBoxSeq([STBox(1.0, 1.0, 1.0, 1.0, 0.0),
+                         STBox(2.0, 2.0, 5.0, 5.0, 1.0)])]
+        self._assert_matches(q, seqs)
+
+    def test_empty_query_and_empty_batch(self, rng):
+        empty = Trajectory([(1.0, 2.0, 0.0)])
+        seq = _random_seq(rng)[0]
+        for backend in BACKENDS:
+            assert edwp_sub_box(empty, seq, backend=backend) == 0.0
+            assert edwp_sub_box_many(empty, [seq], backend=backend) == [0.0]
+            assert edwp_sub_box_many(
+                random_walk_trajectory(rng, 5), [], backend=backend
+            ) == []
+
+    def test_variable_length_padding_exact(self, rng):
+        """Mixed box counts in one batch: padding must not leak."""
+        q = random_walk_trajectory(rng, 10)
+        seqs = [
+            TBoxSeq.from_trajectory(
+                random_walk_trajectory(rng, int(rng.integers(2, 26))),
+                max_boxes=int(rng.integers(1, 13)),
+            )
+            for _ in range(12)
+        ]
+        assert len({len(s) for s in seqs}) > 1  # genuinely mixed
+        self._assert_matches(q, seqs)
+
+    def test_batch_matches_single_bitwise(self, rng):
+        q = random_walk_trajectory(rng, 9)
+        seqs = [_random_seq(rng, points=int(rng.integers(2, 12)))[0]
+                for _ in range(7)]
+        singles = [
+            fast_bounds.edwp_sub_box_numpy(q, s.geometry()) for s in seqs
+        ]
+        batched = fast_bounds.edwp_sub_box_many_numpy(
+            q, [s.geometry() for s in seqs]
+        )
+        assert batched == singles
+
+
+class TestTheorem2Invariant:
+    """``bound <= exact`` under every backend (the soundness contract)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bound_below_edwp_and_edwp_sub(self, rng, backend):
+        for _ in range(6):
+            members = [
+                random_walk_trajectory(rng, int(rng.integers(3, 14)))
+                for _ in range(3)
+            ]
+            seq = TBoxSeq.from_trajectories(members)
+            q = random_walk_trajectory(rng, int(rng.integers(3, 14)))
+            lb = edwp_sub_box(q, seq, backend=backend)
+            for t in members:
+                assert lb <= edwp_sub(q, t, backend=backend) + 1e-6
+                assert lb <= edwp(q, t, backend=backend) + 1e-6
+
+
+class TestKnnBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def database(self):
+        rng = np.random.default_rng(5)
+        return [
+            random_walk_trajectory(rng, int(rng.integers(4, 16)))
+            for _ in range(60)
+        ]
+
+    @pytest.fixture(scope="class")
+    def queries(self):
+        rng = np.random.default_rng(17)
+        return [random_walk_trajectory(rng, 8) for _ in range(3)]
+
+    def test_knn_identical_across_backends(self, database, queries):
+        tree = TrajTree(database, theta=0.8, num_vps=8, normalized=True,
+                        seed=3, backend="python")
+        for q in queries:
+            tree.backend = "python"
+            ref = tree.knn(q, 5)
+            scan = tree.knn_scan(q, 5)
+            tree.backend = "numpy"
+            fast = tree.knn(q, 5)
+            assert [tid for tid, _ in ref] == [tid for tid, _ in fast]
+            assert [tid for tid, _ in ref] == [tid for tid, _ in scan]
+            for (_, a), (_, b) in zip(ref, fast):
+                assert a == pytest.approx(b, abs=1e-9)
+
+    def test_trees_built_per_backend_agree(self, database, queries):
+        """Building under either backend gives the same neighbor sets."""
+        trees = {
+            be: TrajTree(database, theta=0.8, num_vps=8, normalized=True,
+                         seed=3, backend=be)
+            for be in BACKENDS
+        }
+        for q in queries:
+            answers = {
+                be: [tid for tid, _ in tree.knn(q, 5)]
+                for be, tree in trees.items()
+            }
+            assert answers["python"] == answers["numpy"]
+
+    def test_range_and_subtrajectory_equivalence(self, database, queries):
+        tree = TrajTree(database, theta=0.8, num_vps=8, normalized=True,
+                        seed=3)
+        q = queries[0]
+        tree.backend = "python"
+        radius = tree.knn(q, 8)[-1][1] * 1.001
+        r_ref = tree.range_query(q, radius)
+        s_ref = tree.subtrajectory_knn(q, 5)
+        oracle = tree.subtrajectory_knn_scan(q, 5)
+        tree.backend = "numpy"
+        r_fast = tree.range_query(q, radius)
+        s_fast = tree.subtrajectory_knn(q, 5)
+        assert [tid for tid, _ in r_ref] == [tid for tid, _ in r_fast]
+        assert [tid for tid, _ in s_ref] == [tid for tid, _ in s_fast]
+        assert [tid for tid, _ in s_ref] == [tid for tid, _ in oracle]
+
+
+class TestBatchFirstPivotKernel:
+    def test_matches_per_pair_bitwise(self, rng):
+        trajs = [
+            random_walk_trajectory(rng, int(rng.integers(2, 20)))
+            for _ in range(20)
+        ]
+        pivot = trajs[3]
+        batched = edwp_sub_fast_queries(trajs, pivot, backend="numpy")
+        singles = [
+            edwp_sub_fast(t, pivot, backend="numpy") for t in trajs
+        ]
+        assert batched == singles
+
+    def test_matches_python_to_tolerance(self, rng):
+        trajs = [
+            random_walk_trajectory(rng, int(rng.integers(2, 14)))
+            for _ in range(10)
+        ]
+        pivot = trajs[0]
+        batched = edwp_sub_fast_queries(trajs, pivot, backend="numpy")
+        ref = [edwp_sub_fast(t, pivot, backend="python") for t in trajs]
+        for b, r in zip(batched, ref):
+            assert b == pytest.approx(r, abs=1e-9 * max(1.0, r))
+
+    def test_empty_query_and_empty_target(self, rng):
+        import math
+
+        empty = Trajectory([(0.0, 0.0, 0.0)])
+        full = random_walk_trajectory(rng, 5)
+        for backend in BACKENDS:
+            with use_backend(backend):
+                assert edwp_sub_fast_queries([empty, full], full)[0] == 0.0
+                vals = edwp_sub_fast_queries([empty, full], empty)
+                assert vals[0] == 0.0
+                assert vals[1] == math.inf
+
+    def test_build_identical_across_batched_and_loop(self, rng):
+        """Pivot columns feed tree construction: the numpy tree must be
+        built from bit-identical diversity distances whether or not the
+        batched column evaluator is available (it is the same kernel)."""
+        db = [
+            random_walk_trajectory(rng, int(rng.integers(4, 12)))
+            for _ in range(30)
+        ]
+        t1 = TrajTree(db, theta=0.8, num_vps=4, seed=11, backend="numpy")
+        t2 = TrajTree(db, theta=0.8, num_vps=4, seed=11, backend="numpy")
+        assert t1.root.subtree_ids == t2.root.subtree_ids
+        assert [len(c.subtree_ids) for c in t1.root.children] == [
+            len(c.subtree_ids) for c in t2.root.children
+        ]
