@@ -17,6 +17,14 @@ Every table and figure of the paper can be regenerated from the shell:
 Output is the textual equivalent of the figure: the x-axis sweep with one
 column per technique.
 
+Beyond the figures, ``python -m repro serve`` runs the concurrent query
+service (``repro.service``): a warm TrajTree behind an asyncio TCP server
+with request coalescing, an LRU result cache, bounded-queue backpressure
+and a ``/stats`` endpoint — see DESIGN.md, "Query service", and the
+README quickstart:
+
+    python -m repro --backend numpy serve --synthetic 200 --port 8765
+
 ``--backend numpy`` (before the experiment name) runs **every** distance —
 the EDwP family and all baseline comparators (DTW, EDR, ERP, LCSS,
 Fréchet, Hausdorff, DISSIM) — through the vectorized kernels instead of
@@ -131,7 +139,109 @@ def _build_parser() -> argparse.ArgumentParser:
     p6d.add_argument("--db-size", type=int, default=120)
     p6d.add_argument("--seed", type=int, default=7)
 
+    ps = sub.add_parser(
+        "serve",
+        help="run the concurrent query service (coalescing + cache + "
+             "/stats; see DESIGN.md, 'Query service')",
+    )
+    source = ps.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--index", metavar="PATH",
+        help="serve a TrajTree snapshot written by "
+             "repro.index.persistence.save_tree",
+    )
+    source.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="build and serve an in-memory index over N synthetic "
+             "Beijing-taxi trajectories (EDwPavg-normalized)",
+    )
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8765,
+                    help="TCP port (0 binds an ephemeral port)")
+    ps.add_argument("--seed", type=int, default=7,
+                    help="seed for the --synthetic build")
+    ps.add_argument("--window-ms", type=float, default=2.0,
+                    help="request-coalescing window in milliseconds")
+    ps.add_argument("--max-batch", type=int, default=64,
+                    help="dispatch as soon as this many requests wait")
+    ps.add_argument("--max-pending", type=int, default=256,
+                    help="bounded queue: shed (ServiceOverloaded) above this")
+    ps.add_argument("--cache-size", type=int, default=1024,
+                    help="LRU result-cache entries (0 disables caching)")
+    ps.add_argument("--timeout", type=float, default=30.0,
+                    help="default per-request deadline in seconds")
+    ps.add_argument("--selftest", action="store_true",
+                    help="serve on the chosen port, run one client "
+                         "query + /stats roundtrip, then exit")
+
     return parser
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand (pulled out of :func:`main` for clarity)."""
+    import asyncio
+
+    from .index.persistence import load_tree
+    from .service import QueryService, ServiceClient, ServiceConfig, serve
+
+    if args.index is not None:
+        tree = load_tree(args.index)
+        origin = f"snapshot {args.index}"
+    else:
+        from .datasets import generate_beijing
+        from .index import TrajTree
+
+        db = generate_beijing(args.synthetic, seed=args.seed)
+        tree = TrajTree(db, normalized=True, num_vps=8, seed=args.seed,
+                        backend=args.backend)
+        origin = f"synthetic Beijing db of {args.synthetic}"
+
+    config = ServiceConfig(
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache_size,
+        default_timeout=args.timeout,
+    )
+    service = QueryService(tree, config)
+
+    async def run() -> int:
+        server = await serve(service, host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"serving {origin} ({len(tree)} trajectories) "
+              f"on {host}:{port}")
+        print(f"coalescing window {args.window_ms:g} ms, "
+              f"max batch {args.max_batch}, queue bound {args.max_pending}, "
+              f"cache {args.cache_size} entries")
+        try:
+            if args.selftest:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    probe = tree.get(tree.ids()[0])
+                    results, meta = await client.knn(probe, k=3)
+                    stats = await client.stats()
+                finally:
+                    await client.aclose()
+                print(f"selftest knn: {len(results)} neighbours, "
+                      f"nearest id {results[0][0]} at {results[0][1]:.4f}, "
+                      f"{meta['latency_ms']:.2f} ms")
+                print(f"selftest stats: {stats['requests']} requests, "
+                      f"{stats['batches']['dispatched']} batches, "
+                      f"cache {stats['cache']['hits']}/"
+                      f"{stats['cache']['misses']} hit/miss")
+                return 0
+            await server.serve_forever()
+            return 0
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -140,6 +250,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.backend is not None:
         set_backend(args.backend)
     name = args.experiment
+
+    if name == "serve":
+        return _run_serve(args)
 
     if name == "table1":
         result = run_table1()

@@ -223,7 +223,12 @@ class Trajectory:
     @property
     def length(self) -> float:
         """Total spatial length, Eq. 1 (cached; data is immutable by
-        convention, like the :meth:`coords` cache)."""
+        convention, like the :meth:`coords` cache).
+
+        The lazy fill follows the idempotent read-compute-assign pattern
+        (see :meth:`coords` for the contract), so concurrent first reads
+        from multiple threads are safe.
+        """
         cached = self._length
         if cached is None:
             if len(self) < 2:
@@ -342,6 +347,16 @@ class Trajectory:
         repeated distances against the same trajectory amortize the
         conversion.  Treat the returned array as read-only: ``Trajectory``
         data is immutable by convention and the cache is never invalidated.
+
+        Concurrency contract (relied on by the query service, asserted by
+        ``tests/test_concurrent_caches.py``): the fill is *idempotent* —
+        the code reads the slot once into a local, computes a value that
+        depends only on the immutable ``data``, and publishes it with a
+        single attribute assignment.  Racing first calls may each build
+        their own (equal) array; whichever assignment lands last wins, and
+        every caller holds a correct, fully constructed result.  Keep this
+        shape when editing: never assign the slot before the value is
+        complete, and never read the slot twice.
         """
         cached = self._coords
         if cached is None:

@@ -129,6 +129,12 @@ class TBoxSeq:
         ``with_trajectory``/``compacted`` return fresh instances whose
         caches start empty — and pickling drops the cache
         (:meth:`__getstate__`), so the arrays always describe ``boxes``.
+
+        The lazy fill is idempotent and therefore safe under concurrent
+        first access (the read-compute-assign contract documented at
+        :meth:`repro.core.trajectory.Trajectory.coords`, asserted by
+        ``tests/test_concurrent_caches.py``); servers warm it eagerly via
+        :meth:`repro.index.trajtree.TrajTree.warm_caches`.
         """
         geom = self._geom
         if geom is None:

@@ -652,6 +652,79 @@ class TrajTree:
                 return list(pool.map(lambda q: self.knn(q, k), queries))
         return [self.knn(q, k) for q in queries]
 
+    def query_many(
+        self,
+        requests: Sequence[Tuple[str, Trajectory, float]],
+    ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]:
+        """Reentrant multi-query entry point (the service layer's dispatch).
+
+        ``requests`` is a sequence of ``(kind, query, param)`` with
+        ``kind`` one of ``"knn"`` / ``"range"`` / ``"subtrajectory_knn"``
+        and ``param`` the ``k`` (k-NN kinds) or radius (range).  Returns
+        one ``(results, stats)`` pair per request, in order, where
+        ``results`` is exactly what the corresponding single-query method
+        returns and ``stats`` its :class:`TrajTreeStats` counters.
+
+        Duplicate requests — same kind, same parameter, bit-identical
+        query points — are computed once (singleflight): the duplicates
+        share the *same* result list and stats object as their first
+        occurrence, which is how the service coalesces many users' hot
+        queries into one index pass per tick.
+
+        Reentrancy contract: the call never mutates tree state — each
+        query gets a fresh stats object, traversal state is local, and
+        the only shared writes are the idempotent lazy cache fills of
+        :meth:`Trajectory.coords` / :meth:`TBoxSeq.geometry` (see
+        :meth:`warm_caches`) — so concurrent calls from multiple threads
+        are safe on a tree that is not being updated.
+        """
+        dispatch = {
+            "knn": lambda q, p, s: self.knn(q, int(p), stats=s),
+            "range": lambda q, p, s: self.range_query(q, float(p), stats=s),
+            "subtrajectory_knn":
+                lambda q, p, s: self.subtrajectory_knn(q, int(p), stats=s),
+        }
+        out: List[Tuple[List[Tuple[int, float]], TrajTreeStats]] = []
+        seen: Dict[Tuple[str, float, bytes], int] = {}
+        for kind, query, param in requests:
+            if kind not in dispatch:
+                raise ValueError(
+                    f"unknown query kind {kind!r}; expected one of "
+                    f"{tuple(dispatch)}"
+                )
+            key = (kind, float(param), query.data.tobytes())
+            first = seen.get(key)
+            if first is not None:
+                out.append(out[first])
+                continue
+            seen[key] = len(out)
+            stats = TrajTreeStats()
+            out.append((dispatch[kind](query, param, stats), stats))
+        return out
+
+    def warm_caches(self) -> None:
+        """Populate every lazy derived cache the query path reads.
+
+        Touches each stored trajectory's coordinate/length caches and each
+        node's tBoxSeq geometry cache.  The fills themselves are idempotent
+        (concurrent first calls each compute an equivalent value and the
+        last assignment wins), so this is an optimization, not a
+        correctness requirement — but a server warming once before
+        accepting traffic avoids paying first-touch conversions inside
+        latency-sensitive queries.  Called by
+        :class:`repro.service.server.QueryService` on index load.
+        """
+        for traj in self._db.values():
+            traj.coords()
+            traj.length  # noqa: B018 — property access populates the cache
+
+        def walk(node: _Node) -> None:
+            node.boxseq.geometry()
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+
     def knn_scan(self, query: Trajectory, k: int) -> List[Tuple[int, float]]:
         """Brute-force sequential scan (the paper's baseline and the oracle
         used by the test-suite to verify exactness)."""

@@ -1,0 +1,64 @@
+"""repro.service — the concurrent query service layer (ROADMAP item 3).
+
+Serves warm :class:`~repro.index.trajtree.TrajTree` indexes to many
+concurrent clients, coalescing in-flight kNN / range / subtrajectory-kNN
+requests into batched index passes, with an LRU result cache, per-request
+timeouts and cancellation, bounded-queue backpressure, and a structured
+``/stats`` endpoint.  DESIGN.md ("Query service") documents the
+coalescing window semantics, the cache key contract, the backpressure
+policy, and the stats schema; ``python -m repro serve`` is the CLI entry
+point.
+
+Public surface:
+
+* :class:`~repro.service.server.QueryService` /
+  :class:`~repro.service.server.ServiceConfig` — the in-process service.
+* :func:`~repro.service.server.serve` — expose a service over TCP
+  (newline-delimited JSON).
+* :class:`~repro.service.client.ServiceClient` — the matching asyncio
+  client.
+* The typed error family of :mod:`~repro.service.protocol`
+  (``ServiceOverloaded``, ``RequestTimeout``, ...), plus
+  :class:`~repro.service.protocol.QueryRequest` /
+  :class:`~repro.service.protocol.QueryResponse` and
+  :func:`~repro.service.protocol.query_digest`.
+* :class:`~repro.service.cache.LRUCache`,
+  :class:`~repro.service.batcher.CoalescingBatcher`,
+  :class:`~repro.service.stats.ServiceStats` — the building blocks,
+  importable on their own.
+"""
+
+from .batcher import BatchOutcome, CoalescingBatcher
+from .cache import LRUCache
+from .client import ServiceClient
+from .protocol import (
+    InvalidRequest,
+    QueryRequest,
+    QueryResponse,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    query_digest,
+)
+from .server import QueryService, ServiceConfig, serve
+from .stats import ServiceStats
+
+__all__ = [
+    "BatchOutcome",
+    "CoalescingBatcher",
+    "LRUCache",
+    "ServiceClient",
+    "InvalidRequest",
+    "QueryRequest",
+    "QueryResponse",
+    "RequestTimeout",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "query_digest",
+    "QueryService",
+    "ServiceConfig",
+    "serve",
+    "ServiceStats",
+]

@@ -1,0 +1,200 @@
+"""Request-coalescing batcher: many in-flight queries, one dispatch tick.
+
+The batcher collects concurrently submitted requests for a short window
+(``window`` seconds, counted from the first request of a tick) or until a
+batch-size cap, then dispatches the whole batch through *one* synchronous
+callable running on an executor thread — for the query service that is
+one :meth:`repro.index.trajtree.TrajTree.query_many` call, so the event
+loop stays free to accept/timeout/shed requests while the tree works.
+
+Coalescing semantics (see DESIGN.md, "Query service"):
+
+* Requests submit under a *key* (the service passes the query digest).
+  Within one batch, equal keys are **singleflighted**: the computation
+  runs once and every waiter receives the same value.  Exactly one
+  still-waiting requester per key is marked ``primary`` so the caller can
+  account the computation's cost once.
+* The wait queue is **bounded**: a submit finding ``max_pending`` requests
+  already waiting fails immediately with
+  :class:`~repro.service.protocol.ServiceOverloaded` instead of growing
+  memory without limit.
+* A waiter whose future is cancelled (per-request timeout, client gone)
+  is simply skipped at resolution time — its batch-mates' results are
+  unaffected, and the computation still completes (feeding the service's
+  result cache).
+* Batches are serialized through one lock: at most one dispatch runs at a
+  time, so the tree sees strictly sequential batched passes.
+* :meth:`CoalescingBatcher.drain` refuses new requests, flushes whatever
+  is queued, and waits for the in-flight dispatch — a clean shutdown
+  delivers every accepted request's result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .protocol import ServiceClosed, ServiceOverloaded
+
+__all__ = ["BatchOutcome", "CoalescingBatcher"]
+
+
+@dataclass
+class BatchOutcome:
+    """What one waiter receives: the value plus its batch's shape.
+
+    ``batch_size`` counts every request in the dispatched batch (dups
+    included), ``distinct`` the singleflighted computations.  ``primary``
+    is True for exactly one live waiter per distinct computation — the one
+    that should account the computation's cost.
+    """
+
+    value: Any
+    batch_size: int
+    distinct: int
+    primary: bool
+
+
+class CoalescingBatcher:
+    """Coalesce async submissions into synchronous batch dispatches.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(requests) -> values`` (one value per request), called
+        with the batch's *distinct* requests on an executor thread.
+    window:
+        Seconds to keep collecting after a tick's first request.  0 still
+        coalesces whatever lands in the same event-loop turn (the flush is
+        scheduled, not inline).
+    max_batch:
+        Dispatch immediately once this many requests wait; larger backlogs
+        split into consecutive batches.
+    max_pending:
+        Bound on waiting requests (shed with ``ServiceOverloaded`` above
+        it).  Requests already handed to the executor no longer count.
+    on_batch:
+        Optional ``on_batch(batch_size, distinct)`` observer, called once
+        per dispatched batch on the event loop (after the dispatch
+        returned or raised) — the service's batch-level stats hook.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[Sequence[Any]], List[Any]],
+        window: float = 0.002,
+        max_batch: int = 64,
+        max_pending: int = 256,
+        on_batch: Optional[Callable[[int, int], None]] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._dispatch = dispatch
+        self._on_batch = on_batch
+        self.window = window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self._pending: List[Tuple[Hashable, Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._lock = asyncio.Lock()
+        self._tasks: set = set()
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting for a dispatch tick."""
+        return len(self._pending)
+
+    async def submit(self, key: Hashable, request: Any) -> BatchOutcome:
+        """Queue one request and wait for its batch's outcome.
+
+        Raises ``ServiceClosed`` after :meth:`drain` started and
+        ``ServiceOverloaded`` when the wait queue is full.
+        """
+        if self._closed:
+            raise ServiceClosed("service is shutting down")
+        if len(self._pending) >= self.max_pending:
+            raise ServiceOverloaded(
+                f"request queue is full ({self.max_pending} waiting)"
+            )
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._pending.append((key, request, fut))
+        if len(self._pending) >= self.max_batch:
+            self._arm(loop, 0.0)
+        elif self._timer is None:
+            self._arm(loop, self.window)
+        return await fut
+
+    def _arm(self, loop: asyncio.AbstractEventLoop, delay: float) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = loop.call_later(delay, self._fire, loop)
+
+    def _fire(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._timer = None
+        task = loop.create_task(self._flush())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _flush(self) -> None:
+        """Dispatch one batch (serialized; leftover re-arms immediately)."""
+        async with self._lock:
+            if not self._pending:
+                return
+            loop = asyncio.get_running_loop()
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            if self._pending:
+                self._arm(loop, 0.0)
+
+            groups: Dict[Hashable, List[asyncio.Future]] = {}
+            distinct: List[Tuple[Hashable, Any]] = []
+            for key, request, fut in batch:
+                if key not in groups:
+                    groups[key] = []
+                    distinct.append((key, request))
+                groups[key].append(fut)
+
+            try:
+                values = await loop.run_in_executor(
+                    None, self._dispatch, [req for _, req in distinct]
+                )
+            except Exception as exc:  # noqa: BLE001 — forwarded to waiters
+                if self._on_batch is not None:
+                    self._on_batch(len(batch), len(distinct))
+                for futs in groups.values():
+                    for fut in futs:
+                        if not fut.done():
+                            fut.set_exception(exc)
+                return
+            if self._on_batch is not None:
+                self._on_batch(len(batch), len(distinct))
+
+            batch_size = len(batch)
+            for (key, _), value in zip(distinct, values):
+                primary = True
+                for fut in groups[key]:
+                    if fut.done():      # cancelled (timeout / client gone)
+                        continue
+                    fut.set_result(BatchOutcome(
+                        value=value,
+                        batch_size=batch_size,
+                        distinct=len(distinct),
+                        primary=primary,
+                    ))
+                    primary = False
+
+    async def drain(self) -> None:
+        """Refuse new work, flush the queue, wait out in-flight dispatch."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        while self._pending:
+            await self._flush()
+        async with self._lock:     # in-flight dispatch (if any) finished
+            pass

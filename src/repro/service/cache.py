@@ -1,0 +1,85 @@
+"""LRU result cache of the query service.
+
+Plain ``OrderedDict`` recency cache with hit/miss/eviction counters.  The
+service keys entries on ``(index snapshot id, query digest)`` — see
+DESIGN.md, "Query service" — so loading a new index *implicitly*
+invalidates every cached result (old snapshot ids can never be queried
+again); :meth:`LRUCache.clear` additionally drops the dead entries so the
+capacity budget is not wasted on them.
+
+The cache itself is policy-free: it never inspects values and a capacity
+of 0 disables it (every lookup is a miss, nothing is stored), which is how
+the benchmark's naive-dispatch mode runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+_MISS = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a hard entry cap.
+
+    Not thread-safe by itself; the service only touches it from the event
+    loop thread (dispatch work runs in an executor, cache bookkeeping does
+    not).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed to most-recently-used; None on miss."""
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU entry past capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self):
+        """Keys from least- to most-recently used (for tests/introspection)."""
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        self._data.clear()
+
+    def counters(self) -> Dict[str, int]:
+        """Cumulative hit/miss/eviction counts plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "capacity": self.capacity,
+        }

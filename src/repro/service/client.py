@@ -1,0 +1,129 @@
+"""Asyncio client for the query service's JSON-line TCP protocol.
+
+Mirrors the TrajTree query surface over the wire::
+
+    from repro.service.client import ServiceClient
+
+    async def main():
+        client = await ServiceClient.connect("127.0.0.1", 8765)
+        try:
+            results, meta = await client.knn(query_traj, k=5)
+            print(results, meta["latency_ms"], meta["cache_hit"])
+            print(await client.stats())      # the /stats endpoint
+        finally:
+            await client.aclose()
+
+Query methods return ``(results, meta)`` with ``results`` the same
+``[(traj_id, distance), ...]`` list the library call returns and ``meta``
+the per-request observability record (DESIGN.md, "Query service").
+Server-side failures re-raise as the typed
+:class:`~repro.service.protocol.ServiceError` subclasses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.trajectory import Trajectory
+from .protocol import (
+    QueryRequest,
+    ServiceError,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_from_code,
+)
+
+__all__ = ["ServiceClient"]
+
+Results = List[Tuple[int, float]]
+
+
+class ServiceClient:
+    """One connection to a running query service.
+
+    Requests on one client are sequential (the protocol answers in
+    order); open several clients for concurrent load — that is exactly
+    the shape the server's coalescing window feeds on.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 8765) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    async def knn(self, query: Trajectory, k: int,
+                  timeout: Optional[float] = None
+                  ) -> Tuple[Results, Dict[str, Any]]:
+        """k nearest neighbours; mirrors :meth:`TrajTree.knn`."""
+        return await self._query(QueryRequest("knn", query, k, timeout))
+
+    async def range_query(self, query: Trajectory, radius: float,
+                          timeout: Optional[float] = None
+                          ) -> Tuple[Results, Dict[str, Any]]:
+        """All trajectories within ``radius``; mirrors
+        :meth:`TrajTree.range_query`."""
+        return await self._query(
+            QueryRequest("range", query, radius, timeout)
+        )
+
+    async def subtrajectory_knn(self, query: Trajectory, k: int,
+                                timeout: Optional[float] = None
+                                ) -> Tuple[Results, Dict[str, Any]]:
+        """Sub-trajectory k-NN; mirrors
+        :meth:`TrajTree.subtrajectory_knn`."""
+        return await self._query(
+            QueryRequest("subtrajectory_knn", query, k, timeout)
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        """The service's ``/stats`` payload."""
+        return (await self._roundtrip({"op": "stats"}))["result"]
+
+    async def ping(self) -> bool:
+        return (await self._roundtrip({"op": "ping"}))["result"] == "pong"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _query(self, request: QueryRequest
+                     ) -> Tuple[Results, Dict[str, Any]]:
+        self._writer.write(encode_request(request))
+        obj = await self._read_response()
+        results = [(int(tid), float(d)) for tid, d in obj["result"]]
+        return results, obj.get("meta", {})
+
+    async def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._writer.write(encode_response(payload))   # same line codec
+        return await self._read_response()
+
+    async def _read_response(self) -> Dict[str, Any]:
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        obj = decode_response(line)
+        if not obj.get("ok"):
+            err = obj.get("error") or {}
+            raise error_from_code(err.get("code", "service_error"),
+                                  err.get("message", "request failed"))
+        return obj

@@ -1,0 +1,348 @@
+"""The query service: warm indexes behind a coalescing asyncio front-end.
+
+:class:`QueryService` owns one loaded :class:`~repro.index.trajtree.TrajTree`
+and answers kNN / range / subtrajectory-kNN requests through three layers:
+
+1. an LRU **result cache** keyed on ``(snapshot id, query digest)`` —
+   loading a new index bumps the snapshot id, which invalidates every
+   cached entry at once;
+2. a **coalescing batcher** that collects concurrent cache misses for a
+   short window and dispatches them as *one*
+   :meth:`~repro.index.trajtree.TrajTree.query_many` call on an executor
+   thread (identical in-flight queries are singleflighted — computed once,
+   delivered to every waiter);
+3. per-request **delivery policy**: a deadline (typed
+   :class:`~repro.service.protocol.RequestTimeout` on expiry),
+   cancellation tolerance (a dropped request never loses its batch-mates'
+   results) and bounded-queue backpressure
+   (:class:`~repro.service.protocol.ServiceOverloaded`).
+
+Results are bit-identical to the equivalent serial library calls: the
+dispatch path runs the very same ``knn`` / ``range_query`` /
+``subtrajectory_knn`` code, queries are read-only on the tree, and
+batches are serialized — ``tests/test_service_concurrency.py`` asserts
+this against the oracle.  Observability is the stats schema of
+:mod:`repro.service.stats`, served by the ``/stats`` endpoint
+(``{"op": "stats"}`` on the wire).
+
+:func:`serve` exposes a service over TCP with the newline-delimited JSON
+protocol of :mod:`repro.service.protocol`; ``python -m repro serve`` is
+the CLI entry point and :class:`repro.service.client.ServiceClient` the
+matching client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..index.trajtree import TrajTree, TrajTreeStats
+from .batcher import CoalescingBatcher
+from .cache import LRUCache
+from .protocol import (
+    QueryRequest,
+    QueryResponse,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceError,
+    decode_request,
+    encode_response,
+    query_digest,
+    request_from_obj,
+)
+from .stats import ServiceStats, tree_stats_to_dict
+
+__all__ = ["ServiceConfig", "QueryService", "serve"]
+
+_ZERO_TREE_STATS = tree_stats_to_dict(TrajTreeStats())
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`QueryService` (DESIGN.md, "Query service").
+
+    ``window=0.0`` with ``max_batch=1`` and ``cache_capacity=0`` is the
+    *naive serial dispatch* configuration the throughput benchmark
+    compares against.
+    """
+
+    window: float = 0.002          # coalescing window, seconds
+    max_batch: int = 64            # dispatch as soon as this many wait
+    max_pending: int = 256         # bounded queue: shed above this
+    cache_capacity: int = 1024     # LRU entries; 0 disables caching
+    default_timeout: Optional[float] = 30.0   # seconds; None = no deadline
+
+
+@dataclass
+class _CachedResult:
+    """Cache payload: the results plus the stats of the computation that
+    produced them (kept so introspection can show what the hit saved)."""
+
+    results: List[Tuple[int, float]]
+    tree_stats: TrajTreeStats
+
+
+class QueryService:
+    """One warm index plus the coalescing/caching/backpressure front-end.
+
+    All coordination state (cache, stats, batcher bookkeeping) is touched
+    only from the event loop thread; the tree itself is read-only during
+    queries and pre-warmed (:meth:`TrajTree.warm_caches`) so the executor
+    thread never races a lazy cache fill.
+    """
+
+    def __init__(self, tree: TrajTree, config: Optional[ServiceConfig] = None,
+                 warm: bool = True):
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.cache = LRUCache(self.config.cache_capacity)
+        self.snapshot_id = 0
+        self._tree = tree
+        if warm:
+            tree.warm_caches()
+        self._batcher = CoalescingBatcher(
+            dispatch=lambda requests: self._execute_batch(requests),
+            window=self.config.window,
+            max_batch=self.config.max_batch,
+            max_pending=self.config.max_pending,
+            on_batch=self.stats.record_batch,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # index management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tree(self) -> TrajTree:
+        """The currently served index."""
+        return self._tree
+
+    def set_tree(self, tree: TrajTree, warm: bool = True) -> int:
+        """Swap in a new index snapshot.
+
+        Bumps the snapshot id — the cache keys on it, so every result
+        computed on the old index becomes unreachable — and drops the dead
+        entries so they stop occupying capacity.  Returns the new id.
+        """
+        if warm:
+            tree.warm_caches()
+        self._tree = tree
+        self.snapshot_id += 1
+        self.cache.clear()
+        return self.snapshot_id
+
+    # ------------------------------------------------------------------ #
+    # the dispatch path
+    # ------------------------------------------------------------------ #
+
+    def _execute_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]:
+        """One coalesced tick: the batch's distinct queries through one
+        :meth:`TrajTree.query_many` call (runs on an executor thread; must
+        not touch service bookkeeping — that happens on the loop)."""
+        return self._tree.query_many(
+            [(r.kind, r.query, r.param) for r in requests]
+        )
+
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Answer one query through cache → batcher → tree.
+
+        Raises the typed :class:`~repro.service.protocol.ServiceError`
+        family: ``InvalidRequest``, ``ServiceOverloaded``,
+        ``RequestTimeout``, ``ServiceClosed``.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            request = request.validated()
+        except ServiceError as exc:
+            self.stats.record_error(exc.code)
+            raise
+        self.stats.record_submitted(request.kind)
+        if self._closed:
+            self.stats.record_error(ServiceClosed.code)
+            raise ServiceClosed("service is shutting down")
+
+        digest = query_digest(request)
+        snapshot = self.snapshot_id
+        key = (snapshot, digest)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            latency_ms = (loop.time() - start) * 1000.0
+            self.stats.record_completed(latency_ms, cache_hit=True,
+                                        computed=False, batch_size=0)
+            return QueryResponse(
+                results=list(cached.results),
+                meta=self._meta(request, latency_ms, snapshot,
+                                cache_hit=True, computed=False,
+                                batch_size=0, distinct=0,
+                                tree_stats=_ZERO_TREE_STATS),
+            )
+
+        timeout = (request.timeout if request.timeout is not None
+                   else self.config.default_timeout)
+        try:
+            outcome = await asyncio.wait_for(
+                self._batcher.submit(digest, request), timeout
+            )
+        except asyncio.TimeoutError:
+            self.stats.record_error(RequestTimeout.code)
+            raise RequestTimeout(
+                f"query missed its {timeout:g}s deadline"
+            ) from None
+        except ServiceError as exc:
+            self.stats.record_error(exc.code)
+            raise
+
+        results, tree_stats = outcome.value
+        if outcome.primary:
+            self.stats.record_tree_stats(tree_stats)
+            if self.snapshot_id == snapshot:
+                # Guard against caching across a set_tree() that raced the
+                # dispatch: a result computed on the new tree must not be
+                # filed under the old snapshot's key (or vice versa).
+                self.cache.put(key, _CachedResult(list(results), tree_stats))
+        latency_ms = (loop.time() - start) * 1000.0
+        self.stats.record_completed(latency_ms, cache_hit=False,
+                                    computed=outcome.primary,
+                                    batch_size=outcome.batch_size)
+        return QueryResponse(
+            results=list(results),
+            meta=self._meta(request, latency_ms, snapshot,
+                            cache_hit=False, computed=outcome.primary,
+                            batch_size=outcome.batch_size,
+                            distinct=outcome.distinct,
+                            tree_stats=tree_stats_to_dict(tree_stats)),
+        )
+
+    def _meta(self, request: QueryRequest, latency_ms: float, snapshot: int,
+              cache_hit: bool, computed: bool, batch_size: int,
+              distinct: int, tree_stats: Dict[str, int]) -> Dict[str, Any]:
+        """The per-request observability record (stats schema, DESIGN.md).
+
+        ``tree_stats`` holds the ``TrajTreeStats`` deltas of the
+        computation that produced the result: the real counters for a
+        computed request (shared verbatim by coalesced duplicates, which
+        carry ``computed: false``), all-zero for a cache hit (no tree work
+        ran).  Aggregates count each computation exactly once.
+        """
+        return {
+            "kind": request.kind,
+            "param": request.param,
+            "latency_ms": latency_ms,
+            "cache_hit": cache_hit,
+            "computed": computed,
+            "batch_size": batch_size,
+            "distinct_in_batch": distinct,
+            "snapshot_id": snapshot,
+            "tree_stats": dict(tree_stats),
+        }
+
+    # ------------------------------------------------------------------ #
+    # observability and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: service counters, cache counters, the
+        served snapshot, and the effective configuration."""
+        out = self.stats.to_dict()
+        out["cache"] = self.cache.counters()
+        out["index"] = {
+            "snapshot_id": self.snapshot_id,
+            "trajectories": len(self._tree),
+            "normalized": self._tree.normalized,
+        }
+        out["config"] = {
+            "window": self.config.window,
+            "max_batch": self.config.max_batch,
+            "max_pending": self.config.max_pending,
+            "cache_capacity": self.config.cache_capacity,
+            "default_timeout": self.config.default_timeout,
+        }
+        return out
+
+    async def aclose(self) -> None:
+        """Drain cleanly: refuse new requests, deliver every accepted one
+        (a shutdown mid-batch finishes the batch first)."""
+        self._closed = True
+        await self._batcher.drain()
+
+
+# ---------------------------------------------------------------------- #
+# the TCP front-end
+# ---------------------------------------------------------------------- #
+
+
+async def _handle_connection(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: JSON lines in, JSON lines out, in order.
+
+    Concurrency across *connections* is what feeds the coalescing window;
+    within a connection, requests are answered sequentially so responses
+    line up with requests.
+    """
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                obj = decode_request(line)
+                op = obj.get("op")
+                if op == "ping":
+                    response = {"ok": True, "result": "pong"}
+                elif op == "stats":
+                    response = {"ok": True, "result": service.stats_dict()}
+                else:
+                    answer = await service.submit(request_from_obj(obj))
+                    response = {
+                        "ok": True,
+                        "result": [[tid, d] for tid, d in answer.results],
+                        "meta": answer.meta,
+                    }
+            except ServiceError as exc:
+                response = {
+                    "ok": False,
+                    "error": {"code": exc.code, "message": str(exc)},
+                }
+            writer.write(encode_response(response))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+async def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+) -> asyncio.AbstractServer:
+    """Expose a service over TCP; returns the listening asyncio server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.sockets[0].getsockname()``) — the form the tests and
+    ``repro serve --selftest`` use.  Close with ``server.close()`` +
+    ``await server.wait_closed()``, then ``await service.aclose()`` to
+    drain in-flight batches.
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )

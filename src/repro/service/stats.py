@@ -1,0 +1,147 @@
+"""Service-side observability: per-request records folded into counters.
+
+One :class:`ServiceStats` instance lives on the service and is only ever
+mutated from the event loop thread (records are folded in after a request
+completes, never from the executor running the batch), so it needs no
+locking.  :meth:`ServiceStats.to_dict` is the stats schema the ``/stats``
+endpoint serves — documented in DESIGN.md, "Query service".
+
+``TrajTreeStats`` deltas are aggregated only for *computed* requests:
+cache hits and batch-mates of a deduplicated computation report
+zero-valued deltas in their per-request meta and add nothing here, so the
+totals track actual tree work, matching the exact accounting contract of
+:class:`repro.index.trajtree.TrajTreeStats`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Any, Deque, Dict, List
+
+from ..index.trajtree import TrajTreeStats
+
+__all__ = ["ServiceStats", "percentile"]
+
+#: Latency samples kept for the p50/p99 figures (a sliding window — the
+#: service is long-running and an unbounded list would be a slow leak).
+LATENCY_WINDOW = 4096
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def tree_stats_to_dict(stats: TrajTreeStats) -> Dict[str, int]:
+    """A ``TrajTreeStats`` as a plain counter dict (the wire form)."""
+    return {f.name: getattr(stats, f.name) for f in fields(TrajTreeStats)}
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative service counters plus a sliding latency window."""
+
+    requests: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    computed: int = 0            # requests whose result ran on the tree
+    coalesced: int = 0           # completed requests that shared a batch
+                                 # with at least one other request
+    errors: Dict[str, int] = field(default_factory=dict)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    batches: int = 0
+    batched_requests: int = 0    # sum of batch sizes over all batches
+    distinct_dispatched: int = 0  # singleflighted computations dispatched
+    max_batch_size: int = 0
+    tree_totals: TrajTreeStats = field(default_factory=TrajTreeStats)
+    _latencies_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record_submitted(self, kind: str) -> None:
+        self.requests += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def record_completed(
+        self,
+        latency_ms: float,
+        cache_hit: bool,
+        computed: bool,
+        batch_size: int,
+    ) -> None:
+        self.completed += 1
+        self._latencies_ms.append(latency_ms)
+        if cache_hit:
+            self.cache_hits += 1
+        if computed:
+            self.computed += 1
+        if batch_size > 1:
+            self.coalesced += 1
+
+    def record_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+    def record_batch(self, batch_size: int, distinct: int) -> None:
+        self.batches += 1
+        self.batched_requests += batch_size
+        self.distinct_dispatched += distinct
+        self.max_batch_size = max(self.max_batch_size, batch_size)
+
+    def record_tree_stats(self, delta: TrajTreeStats) -> None:
+        """Fold one computed query's counter deltas into the totals."""
+        for f in fields(TrajTreeStats):
+            setattr(self.tree_totals, f.name,
+                    getattr(self.tree_totals, f.name)
+                    + getattr(delta, f.name))
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def latency_summary(self) -> Dict[str, float]:
+        values = list(self._latencies_ms)
+        return {
+            "count": len(values),
+            "p50_ms": percentile(values, 0.50),
+            "p99_ms": percentile(values, 0.99),
+            "max_ms": max(values) if values else 0.0,
+            "mean_ms": sum(values) / len(values) if values else 0.0,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``/stats`` schema (see DESIGN.md, "Query service")."""
+        mean_batch = (
+            self.batched_requests / self.batches if self.batches else 0.0
+        )
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "coalesced": self.coalesced,
+            "errors": dict(self.errors),
+            "by_kind": dict(self.by_kind),
+            "batches": {
+                "dispatched": self.batches,
+                "requests": self.batched_requests,
+                "distinct": self.distinct_dispatched,
+                "mean_size": mean_batch,
+                "max_size": self.max_batch_size,
+            },
+            "latency": self.latency_summary(),
+            "tree": tree_stats_to_dict(self.tree_totals),
+        }

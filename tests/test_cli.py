@@ -34,6 +34,26 @@ class TestCLI:
         assert "UB-factor" in out
         assert "Beijing Random" in out
 
+    def test_serve_selftest(self, capsys):
+        # --backend mutates the process-wide backend; restore it so later
+        # test files still see the default
+        from repro.core.edwp import get_backend, set_backend
+
+        previous = get_backend()
+        try:
+            code = main(["--backend", "numpy", "serve", "--synthetic", "12",
+                         "--port", "0", "--selftest"])
+        finally:
+            set_backend(previous)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selftest knn" in out
+        assert "selftest stats" in out
+
+    def test_serve_requires_an_index_source(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "0"])
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

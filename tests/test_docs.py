@@ -33,6 +33,7 @@ def test_design_md_keeps_promised_sections():
         "## Baseline kernels",
         "## Index bound kernels",
         "### Batched leaf refinement",
+        "## Query service",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -49,6 +50,11 @@ def test_design_md_keeps_promised_sections():
                     "distance_rows", "REFINE_FLUSH", "members_pruned",
                     "fig6a_bound_gate"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the query-service section must keep its sub-contracts
+    for keyword in ("coalescing window", "singleflight", "snapshot id",
+                    "ServiceOverloaded", "RequestTimeout", "query_many",
+                    "service_gate", "naive serial dispatch"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # in-page anchors that README/docstrings point at must resolve to a
     # heading (GitHub slug rule: lowercase, spaces -> dashes)
     slugs = {
@@ -59,7 +65,7 @@ def test_design_md_keeps_promised_sections():
     for anchor in ("baseline-kernels", "dual-backend-edwp-kernels",
                    "the-edwpsub-dp-realization", "trajtree-leaf-refinement",
                    "dataset-substitution-table", "index-bound-kernels",
-                   "batched-leaf-refinement"):
+                   "batched-leaf-refinement", "query-service"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -83,5 +89,11 @@ def test_readme_covers_the_promised_ground():
         # the index bound engine's backend guide and gate
         "DESIGN.md#index-bound-kernels",
         "bench_fig6a_querytime_dbsize.py",
+        # the query service quickstart and gate
+        "repro serve",
+        "repro.service",
+        "ServiceClient",
+        "DESIGN.md#query-service",
+        "bench_service_throughput.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

@@ -1,0 +1,195 @@
+"""LRU result cache coverage (ISSUE 6): the unit behaviour of
+:class:`repro.service.cache.LRUCache` and the service-level contract —
+cached results deep-equal fresh computations, hit-vs-computed is visible
+in the per-request ``TrajTreeStats`` deltas, and a new index snapshot
+invalidates every cached entry.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.datasets import generate_beijing
+from repro.index import TrajTree
+from repro.service import (
+    LRUCache,
+    QueryRequest,
+    QueryService,
+    ServiceConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    db = generate_beijing(24, seed=7)
+    return TrajTree(db, normalized=True, num_vps=4, seed=7, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_beijing(6, seed=1007)
+
+
+def submit_all(service, requests):
+    async def run():
+        answers = []
+        for request in requests:
+            answers.append(await service.submit(request))
+        await service.aclose()
+        return answers
+
+    return asyncio.run(run())
+
+
+class TestLRUCacheUnit:
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"          # refresh 'a'
+        cache.put("d", "D")                   # evicts 'b', the LRU
+        assert cache.get("b") is None
+        assert [k for k in cache.keys()] == ["c", "a", "d"]
+
+    def test_put_refreshes_recency_too(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)                    # overwrite refreshes 'a'
+        cache.put("c", 3)                     # so 'b' is the victim
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+        assert cache.get("c") == 3
+
+    def test_counters_track_hits_misses_evictions(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        counters = cache.counters()
+        assert counters == {
+            "hits": 1, "misses": 1, "evictions": 1,
+            "size": 2, "capacity": 2,
+        }
+
+    def test_capacity_zero_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.counters()["size"] == 0
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        counters = cache.counters()
+        assert counters["size"] == 0
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+
+
+class TestServiceCacheContract:
+    def test_hit_deep_equals_fresh_and_reports_zero_tree_work(self, tree,
+                                                              queries):
+        service = QueryService(tree, ServiceConfig(
+            window=0.0, cache_capacity=16,
+        ))
+        request = QueryRequest("knn", queries[0], 4)
+        first, second = submit_all(service, [request, request])
+
+        # the fresh computation did tree work and says so
+        assert first.meta["computed"] is True
+        assert first.meta["cache_hit"] is False
+        assert sum(first.meta["tree_stats"].values()) > 0
+
+        # the hit is byte-for-byte the same answer with zero tree deltas
+        assert second.results == first.results == tree.knn(queries[0], 4)
+        assert second.meta["cache_hit"] is True
+        assert second.meta["computed"] is False
+        assert all(v == 0 for v in second.meta["tree_stats"].values())
+
+        stats = service.stats_dict()
+        assert stats["cache_hits"] == 1
+        assert stats["computed"] == 1
+        assert stats["cache"]["hits"] == 1
+        # aggregate tree totals count the computation exactly once: the
+        # hit added nothing
+        assert stats["tree"] == first.meta["tree_stats"]
+
+    def test_mutating_returned_results_does_not_poison_cache(self, tree,
+                                                             queries):
+        request = QueryRequest("range", queries[1], 200.0)
+        expected = tree.range_query(queries[1], 200.0)
+
+        async def run():
+            service = QueryService(tree, ServiceConfig(
+                window=0.0, cache_capacity=16,
+            ))
+            first = await service.submit(request)
+            # a careless caller scribbling on its response list must not
+            # corrupt what later hits are served
+            first.results.append(("junk", -1.0))
+            first.results.reverse()
+            second = await service.submit(request)
+            await service.aclose()
+            return second
+
+        second = asyncio.run(run())
+        assert second.meta["cache_hit"] is True
+        assert second.results == expected
+
+    def test_snapshot_bump_invalidates_cache(self, queries):
+        db_a = generate_beijing(24, seed=7)
+        db_b = generate_beijing(24, seed=8)
+        tree_a = TrajTree(db_a, normalized=True, num_vps=4, seed=7,
+                          backend="numpy")
+        tree_b = TrajTree(db_b, normalized=True, num_vps=4, seed=7,
+                          backend="numpy")
+        request = QueryRequest("knn", queries[2], 3)
+
+        async def run():
+            service = QueryService(tree_a, ServiceConfig(
+                window=0.0, cache_capacity=16,
+            ))
+            on_a = await service.submit(request)
+            hit_a = await service.submit(request)
+            new_id = service.set_tree(tree_b)
+            on_b = await service.submit(request)
+            hit_b = await service.submit(request)
+            await service.aclose()
+            return on_a, hit_a, new_id, on_b, hit_b, service
+
+        on_a, hit_a, new_id, on_b, hit_b, service = asyncio.run(run())
+        assert on_a.results == tree_a.knn(queries[2], 3)
+        assert hit_a.meta["cache_hit"] is True
+        assert new_id == 1
+        # the swap recomputed on the new tree rather than serving stale
+        assert on_b.meta["cache_hit"] is False
+        assert on_b.meta["computed"] is True
+        assert on_b.meta["snapshot_id"] == 1
+        assert on_b.results == tree_b.knn(queries[2], 3)
+        assert on_b.results != on_a.results
+        assert hit_b.meta["cache_hit"] is True
+        assert hit_b.results == on_b.results
+        assert service.stats_dict()["cache"]["size"] == 1
+
+    def test_service_eviction_recomputes_evicted_query(self, tree, queries):
+        service = QueryService(tree, ServiceConfig(
+            window=0.0, cache_capacity=2,
+        ))
+        r0 = QueryRequest("knn", queries[0], 3)
+        r1 = QueryRequest("knn", queries[1], 3)
+        r2 = QueryRequest("knn", queries[2], 3)
+        answers = submit_all(service, [r0, r1, r2, r0])
+        # r2 evicted r0 (capacity 2), so the second r0 recomputed
+        assert answers[3].meta["cache_hit"] is False
+        assert answers[3].meta["computed"] is True
+        assert answers[3].results == answers[0].results
+        counters = service.stats_dict()["cache"]
+        # two evictions: r2 pushed out r0, then re-caching r0 pushed out r1
+        assert counters["evictions"] == 2
+        assert counters["size"] == 2

@@ -1,0 +1,249 @@
+"""Fault injection for the query service (ISSUE 6).
+
+Covers the failure half of the service contract: per-request timeouts
+surface as typed errors without poisoning the shared batcher, a cancelled
+request never loses its batch-mates' results, the bounded queue sheds
+load with ``ServiceOverloaded`` under a flooding client, the server
+drains cleanly on shutdown mid-batch, and malformed input fails with
+``InvalidRequest`` both in-process and over the wire.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.datasets import generate_beijing
+from repro.index import TrajTree
+from repro.service import (
+    InvalidRequest,
+    QueryRequest,
+    QueryService,
+    RequestTimeout,
+    ServiceClient,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    serve,
+)
+from repro.core import Trajectory
+
+
+@pytest.fixture(scope="module")
+def tree():
+    db = generate_beijing(20, seed=7)
+    return TrajTree(db, normalized=True, num_vps=4, seed=7, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_beijing(8, seed=1007)
+
+
+def slowed(service, delay):
+    """A dispatch wrapper injecting latency before the real computation.
+
+    The service's batcher calls ``self._execute_batch`` late-bound, so
+    swapping the attribute on the instance is enough to inject the fault
+    — and restoring it heals the service.
+    """
+    real = QueryService._execute_batch
+
+    def slow_execute(requests):
+        time.sleep(delay)
+        return real(service, requests)
+
+    return slow_execute
+
+
+class TestTimeouts:
+    def test_timeout_fires_typed_and_batcher_survives(self, tree, queries):
+        async def run():
+            service = QueryService(tree, ServiceConfig(window=0.0))
+            service._execute_batch = slowed(service, 0.3)
+            with pytest.raises(RequestTimeout):
+                await service.submit(
+                    QueryRequest("knn", queries[0], 3, timeout=0.05)
+                )
+            # heal the dispatch: the shared batcher must still work, and
+            # the timed-out request must not have corrupted its queue
+            del service._execute_batch
+            answer = await service.submit(QueryRequest("knn", queries[1], 3))
+            await service.aclose()
+            return answer, service
+
+        answer, service = asyncio.run(run())
+        assert answer.results == tree.knn(queries[1], 3)
+        assert service.stats_dict()["errors"] == {"timeout": 1}
+
+    def test_timed_out_batchmate_does_not_block_others(self, tree, queries):
+        """One request with a tiny deadline and one with none share a
+        batch; the slow dispatch strands only the impatient one."""
+        async def run():
+            service = QueryService(tree, ServiceConfig(window=0.05))
+            service._execute_batch = slowed(service, 0.2)
+            impatient = asyncio.ensure_future(service.submit(
+                QueryRequest("knn", queries[0], 3, timeout=0.1)
+            ))
+            patient = asyncio.ensure_future(service.submit(
+                QueryRequest("knn", queries[1], 4)
+            ))
+            results = await asyncio.gather(impatient, patient,
+                                           return_exceptions=True)
+            await service.aclose()
+            return results
+
+        impatient, patient = asyncio.run(run())
+        assert isinstance(impatient, RequestTimeout)
+        assert patient.results == tree.knn(queries[1], 4)
+
+
+class TestCancellation:
+    def test_cancelled_request_keeps_batchmates_results(self, tree, queries):
+        async def run():
+            service = QueryService(tree, ServiceConfig(window=0.05))
+            doomed = asyncio.ensure_future(service.submit(
+                QueryRequest("knn", queries[2], 3)
+            ))
+            survivor = asyncio.ensure_future(service.submit(
+                QueryRequest("range", queries[3], 100.0)
+            ))
+            await asyncio.sleep(0.01)      # both queued in the same window
+            doomed.cancel()
+            answer = await survivor
+            assert doomed.cancelled()
+            await service.aclose()
+            return answer
+
+        answer = asyncio.run(run())
+        assert answer.results == tree.range_query(queries[3], 100.0)
+
+
+class TestBackpressure:
+    def test_flood_sheds_with_service_overloaded(self, tree, queries):
+        async def run():
+            service = QueryService(tree, ServiceConfig(
+                window=0.0, max_batch=2, max_pending=4, cache_capacity=0,
+            ))
+            service._execute_batch = slowed(service, 0.05)
+            flood = [
+                asyncio.ensure_future(service.submit(
+                    QueryRequest("knn", queries[i % len(queries)], 3)
+                ))
+                for i in range(16)
+            ]
+            settled = await asyncio.gather(*flood, return_exceptions=True)
+            # the service recovers once the flood passes
+            del service._execute_batch
+            after = await service.submit(QueryRequest("knn", queries[0], 2))
+            await service.aclose()
+            return settled, after, service
+
+        settled, after, service = asyncio.run(run())
+        shed = [r for r in settled if isinstance(r, ServiceOverloaded)]
+        served = [r for r in settled if not isinstance(r, Exception)]
+        assert shed, "flood never hit the queue bound"
+        assert served, "backpressure shed everything"
+        for i, outcome in enumerate(settled):
+            if not isinstance(outcome, Exception):
+                assert outcome.results == tree.knn(
+                    queries[i % len(queries)], 3
+                )
+        assert after.results == tree.knn(queries[0], 2)
+        stats = service.stats_dict()
+        assert stats["errors"]["overloaded"] == len(shed)
+        # accepted requests were never silently dropped
+        assert stats["completed"] == len(served) + 1
+
+    def test_overload_error_is_immediate(self, tree, queries):
+        """Shedding happens at submit time, not after waiting a window."""
+        async def run():
+            service = QueryService(tree, ServiceConfig(
+                window=10.0, max_pending=1, cache_capacity=0,
+            ))
+            first = asyncio.ensure_future(service.submit(
+                QueryRequest("knn", queries[0], 3)
+            ))
+            await asyncio.sleep(0)         # let it enqueue
+            start = asyncio.get_running_loop().time()
+            with pytest.raises(ServiceOverloaded):
+                await service.submit(QueryRequest("knn", queries[1], 3))
+            elapsed = asyncio.get_running_loop().time() - start
+            first.cancel()
+            await service.aclose()
+            return elapsed
+
+        assert asyncio.run(run()) < 1.0
+
+
+class TestShutdown:
+    def test_drain_delivers_in_flight_batch_then_refuses(self, tree,
+                                                         queries):
+        async def run():
+            service = QueryService(tree, ServiceConfig(window=0.02))
+            service._execute_batch = slowed(service, 0.1)
+            inflight = [
+                asyncio.ensure_future(service.submit(
+                    QueryRequest("knn", queries[i], 3)
+                ))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.04)      # batch dispatched, still running
+            await service.aclose()         # shutdown mid-batch
+            answers = await asyncio.gather(*inflight)
+            with pytest.raises(ServiceClosed):
+                await service.submit(QueryRequest("knn", queries[0], 3))
+            return answers
+
+        answers = asyncio.run(run())
+        for i, answer in enumerate(answers):
+            assert answer.results == tree.knn(queries[i], 3)
+
+
+class TestInvalidInput:
+    def test_invalid_requests_raise_typed(self, tree, queries):
+        async def run():
+            service = QueryService(tree)
+            for request in (
+                QueryRequest("nope", queries[0], 3),
+                QueryRequest("knn", queries[0], 0),
+                QueryRequest("knn", queries[0], 2.5),
+                QueryRequest("range", queries[0], -1.0),
+                QueryRequest("knn", Trajectory([(0.0, 0.0, 0.0)]), 3),
+            ):
+                with pytest.raises(InvalidRequest):
+                    await service.submit(request)
+            await service.aclose()
+            return service
+
+        service = asyncio.run(run())
+        assert service.stats_dict()["errors"]["invalid_request"] == 5
+
+    def test_wire_errors_keep_connection_usable(self, tree, queries):
+        async def run():
+            service = QueryService(tree)
+            server = await serve(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # not JSON at all
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            err = json.loads(await reader.readline())
+            assert err["ok"] is False
+            assert err["error"]["code"] == "invalid_request"
+            # a bad op
+            writer.write(json.dumps({"op": "knn", "k": 3}).encode() + b"\n")
+            await writer.drain()
+            err2 = json.loads(await reader.readline())
+            assert err2["error"]["code"] == "invalid_request"
+            # same connection still serves real queries afterwards
+            client = ServiceClient(reader, writer)
+            results, _ = await client.knn(queries[0], 3)
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+            return results
+
+        assert asyncio.run(run()) == tree.knn(queries[0], 3)
