@@ -9,7 +9,11 @@ The package provides:
   :func:`~repro.core.edwp.edwp_avg` and the sub-trajectory distance
   :func:`~repro.core.edwp_sub.edwp_sub`.
 * ``repro.index`` — the TrajTree index (Sec. IV): st-boxes, tBoxSeqs, pivot
-  partitioning, vantage points and exact k-NN querying.
+  partitioning, vantage points and exact k-NN querying, plus the sharded
+  :class:`~repro.index.forest.TrajForest` with k-way merged queries.
+* ``repro.store`` — columnar, memory-mappable trajectory storage
+  (:class:`~repro.store.ColumnarStore`): zero-copy store-backed
+  trajectories every kernel and index consumes unchanged.
 * ``repro.baselines`` — DTW, LCSS, ERP, EDR, DISSIM, MA, Lp, Fréchet,
   Hausdorff and an EDR filter-and-refine index (the paper's comparators),
   each dual-backend, plus the batched distance-matrix engine
@@ -55,8 +59,9 @@ from .core import (
     use_backend,
 )
 from .core.edwp_sub import edwp_sub, edwp_sub_alignment, prefix_dist
-from .index import STBox, TBoxSeq, TrajTree, edwp_sub_box
+from .index import STBox, TBoxSeq, TrajForest, TrajTree, edwp_sub_box
 from .baselines import cross_matrix, pairwise_matrix
+from .store import ColumnarStore
 
 __version__ = "1.0.0"
 
@@ -79,6 +84,8 @@ __all__ = [
     "STBox",
     "TBoxSeq",
     "TrajTree",
+    "TrajForest",
+    "ColumnarStore",
     "edwp_sub_box",
     "cross_matrix",
     "pairwise_matrix",

@@ -18,12 +18,25 @@ Output is the textual equivalent of the figure: the x-axis sweep with one
 column per technique.
 
 Beyond the figures, ``python -m repro serve`` runs the concurrent query
-service (``repro.service``): a warm TrajTree behind an asyncio TCP server
+service (``repro.service``): a warm index behind an asyncio TCP server
 with request coalescing, an LRU result cache, bounded-queue backpressure
 and a ``/stats`` endpoint — see DESIGN.md, "Query service", and the
 README quickstart:
 
     python -m repro --backend numpy serve --synthetic 200 --port 8765
+
+The storage/scale pipeline (DESIGN.md, "Columnar store and sharded
+forest") has its own subcommands: ``build-store`` packs a dataset (CSV,
+JSON, or synthetic) into a columnar, memory-mappable ``repro.store``
+directory; ``build-forest`` builds a sharded TrajTree forest from a
+store — optionally in parallel worker processes — and writes a
+ForestSnapshot; ``serve --forest`` serves that snapshot exactly like a
+single-tree ``--index``:
+
+    python -m repro build-store --synthetic 5000 --out data.store
+    python -m repro --backend numpy build-forest --store data.store \\
+        --shards 8 --workers 4 --out forest.idx
+    python -m repro serve --forest forest.idx --port 8765
 
 ``--backend numpy`` (before the experiment name) runs **every** distance —
 the EDwP family and all baseline comparators (DTW, EDR, ERP, LCSS,
@@ -139,6 +152,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p6d.add_argument("--db-size", type=int, default=120)
     p6d.add_argument("--seed", type=int, default=7)
 
+    pbs = sub.add_parser(
+        "build-store",
+        help="pack a dataset into a columnar, memory-mappable store "
+             "directory (repro.store; see DESIGN.md, 'Columnar store and "
+             "sharded forest')",
+    )
+    bs_source = pbs.add_mutually_exclusive_group(required=True)
+    bs_source.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="pack N synthetic Beijing-taxi trajectories",
+    )
+    bs_source.add_argument(
+        "--csv", metavar="PATH",
+        help="pack a flat CSV corpus (repro.datasets.io.load_csv schema)",
+    )
+    bs_source.add_argument(
+        "--json", metavar="PATH",
+        help="pack a JSON corpus (repro.datasets.io.load_json schema)",
+    )
+    pbs.add_argument("--out", required=True, metavar="DIR",
+                     help="store directory to write")
+    pbs.add_argument("--seed", type=int, default=7,
+                     help="seed for the --synthetic generator")
+
+    pbf = sub.add_parser(
+        "build-forest",
+        help="build a sharded TrajTree forest from a columnar store and "
+             "write a ForestSnapshot directory",
+    )
+    pbf.add_argument("--store", required=True, metavar="DIR",
+                     help="columnar store directory (see build-store)")
+    pbf.add_argument("--out", required=True, metavar="DIR",
+                     help="forest snapshot directory to write")
+    pbf.add_argument("--shards", type=int, default=4,
+                     help="shard count (clamped to the dataset size)")
+    pbf.add_argument("--scheme", choices=["round_robin", "hash"],
+                     default="round_robin",
+                     help="shard assignment scheme (results are identical "
+                          "either way; see DESIGN.md)")
+    pbf.add_argument("--workers", type=int, default=None,
+                     help="build shards in this many worker processes, "
+                          "each memory-mapping the store")
+    pbf.add_argument("--seed", type=int, default=7,
+                     help="base build seed (per-shard seeds derive from it)")
+    pbf.add_argument("--num-vps", type=int, default=8,
+                     help="vantage points per node")
+    pbf.add_argument("--min-node-size", type=int, default=10,
+                     help="maximum leaf size per shard tree")
+    pbf.add_argument("--raw", action="store_true",
+                     help="index raw EDwP instead of the default "
+                          "length-normalized EDwPavg")
+
     ps = sub.add_parser(
         "serve",
         help="run the concurrent query service (coalescing + cache + "
@@ -149,6 +214,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--index", metavar="PATH",
         help="serve a TrajTree snapshot written by "
              "repro.index.persistence.save_tree",
+    )
+    source.add_argument(
+        "--forest", metavar="PATH",
+        help="serve a ForestSnapshot directory written by "
+             "repro.index.persistence.save_forest (or build-forest)",
     )
     source.add_argument(
         "--synthetic", type=int, metavar="N",
@@ -177,17 +247,91 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_build_store(args) -> int:
+    """The ``build-store`` subcommand: dataset -> columnar store dir."""
+    from .store import ColumnarStore
+
+    if args.synthetic is not None:
+        from .datasets import generate_beijing
+
+        trajs = generate_beijing(args.synthetic, seed=args.seed)
+        origin = f"{args.synthetic} synthetic Beijing trajectories"
+    elif args.csv is not None:
+        from .datasets.io import load_csv
+
+        trajs = load_csv(args.csv)
+        origin = f"CSV corpus {args.csv}"
+    else:
+        from .datasets.io import load_json
+
+        trajs = load_json(args.json)
+        origin = f"JSON corpus {args.json}"
+
+    store = ColumnarStore.from_trajectories(trajs)
+    store.save(args.out)
+    print(f"packed {origin} into {args.out}: "
+          f"{len(store)} trajectories, {store.num_points} points, "
+          f"{store.nbytes / 1e6:.1f} MB of arrays "
+          f"(load with ColumnarStore.load(..., mmap=True))")
+    return 0
+
+
+def _run_build_forest(args) -> int:
+    """The ``build-forest`` subcommand: store dir -> ForestSnapshot dir."""
+    import time
+
+    from .index.forest import TrajForest
+    from .index.persistence import save_forest
+    from .store import ColumnarStore, StoreError
+
+    try:
+        store = ColumnarStore.load(args.store, mmap=True)
+    except StoreError as exc:
+        print(f"cannot load store: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    forest = TrajForest.from_store(
+        args.store,
+        num_shards=args.shards,
+        scheme=args.scheme,
+        seed=args.seed,
+        workers=args.workers,
+        normalized=not args.raw,
+        num_vps=args.num_vps,
+        min_node_size=args.min_node_size,
+        backend=args.backend,
+    )
+    elapsed = time.perf_counter() - start
+    save_forest(forest, args.out)
+    summary = forest.storage_summary()
+    print(f"built {forest.num_shards}-shard forest over {len(store)} "
+          f"trajectories in {elapsed:.1f}s "
+          f"({summary['nodes']} nodes, {summary['leaves']} leaves; "
+          f"scheme {forest.scheme}, workers {args.workers or 1})")
+    print(f"snapshot written to {args.out} "
+          f"(serve with: python -m repro serve --forest {args.out})")
+    return 0
+
+
 def _run_serve(args) -> int:
     """The ``serve`` subcommand (pulled out of :func:`main` for clarity)."""
     import asyncio
 
-    from .index.persistence import load_tree
+    from .index.persistence import load_forest, load_tree
     from .service import QueryService, ServiceClient, ServiceConfig, serve
 
-    if args.index is not None:
-        tree = load_tree(args.index)
-        origin = f"snapshot {args.index}"
-    else:
+    try:
+        if args.index is not None:
+            tree = load_tree(args.index)
+            origin = f"snapshot {args.index}"
+        elif args.forest is not None:
+            tree = load_forest(args.forest)
+            origin = (f"forest snapshot {args.forest} "
+                      f"({tree.num_shards} shards)")
+    except ValueError as exc:   # snapshot gates, incl. ShardLoadError
+        print(f"cannot load index: {exc}", file=sys.stderr)
+        return 2
+    if args.index is None and args.forest is None:
         from .datasets import generate_beijing
         from .index import TrajTree
 
@@ -253,6 +397,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if name == "serve":
         return _run_serve(args)
+    if name == "build-store":
+        return _run_build_store(args)
+    if name == "build-forest":
+        return _run_build_forest(args)
 
     if name == "table1":
         result = run_table1()

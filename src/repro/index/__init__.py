@@ -14,6 +14,16 @@ Public surface:
   descriptors and the VP-based upper bound (Sec. IV-E).
 * :class:`~repro.index.trajtree.TrajTree` — the index with exact k-NN
   querying (Alg. 2).
+* :class:`~repro.index.forest.TrajForest` — a sharded forest of
+  TrajTrees with k-way merged exact queries (DESIGN.md, "Columnar store
+  and sharded forest"), conforming to the
+  :class:`~repro.index.protocol.QueryIndex` protocol the service layer
+  serves.
+* :func:`~repro.index.persistence.save_tree` /
+  :func:`~repro.index.persistence.load_tree` and
+  :func:`~repro.index.persistence.save_forest` /
+  :func:`~repro.index.persistence.load_forest` — the two snapshot
+  formats.
 """
 
 from .stbox import STBox
@@ -21,7 +31,15 @@ from .tboxseq import TBoxSeq, edwp_sub_box, edwp_sub_box_many
 from .partition import partition
 from .vantage import VantageIndex, select_vantage_points, vantage_distance, vp_distance
 from .trajtree import TrajTree
-from .persistence import load_tree, save_tree
+from .forest import SHARD_SCHEMES, TrajForest, assign_shards
+from .protocol import QueryIndex, ensure_query_index
+from .persistence import (
+    ShardLoadError,
+    load_forest,
+    load_tree,
+    save_forest,
+    save_tree,
+)
 
 __all__ = [
     "STBox",
@@ -34,6 +52,14 @@ __all__ = [
     "vantage_distance",
     "vp_distance",
     "TrajTree",
+    "TrajForest",
+    "SHARD_SCHEMES",
+    "assign_shards",
+    "QueryIndex",
+    "ensure_query_index",
+    "ShardLoadError",
     "load_tree",
     "save_tree",
+    "load_forest",
+    "save_forest",
 ]

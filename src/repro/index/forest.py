@@ -1,0 +1,437 @@
+"""Sharded TrajTree forest — many trees, one exact query surface.
+
+A single :class:`~repro.index.trajtree.TrajTree` is built in one piece
+and pickled in one piece; past ~10^4 trajectories both become the
+bottleneck (ROADMAP item 2).  :class:`TrajForest` partitions the dataset
+into shards, builds one independent TrajTree per shard — optionally in
+parallel worker processes reading a memory-mapped
+:class:`~repro.store.ColumnarStore` — and answers the same queries by
+fanning out to every shard and k-way merging the per-shard results.
+
+Exactness is free: each shard answers its sub-database exactly (the
+single-tree guarantee), the shards partition the database, and the merge
+keeps the global best under the library-wide ``(distance, traj_id)``
+ascending tie order — so forest results are bit-identical to a single
+tree over the whole dataset for any shard count
+(``tests/test_forest_oracle.py`` pins shard counts 1/2/4/7 against the
+single-tree oracle).  Shard *assignment* therefore only affects balance,
+never answers; the two documented schemes are round-robin by dataset
+position (default) and a multiplicative hash of the trajectory id — see
+DESIGN.md ("Columnar store and sharded forest").
+
+The forest conforms to :class:`~repro.index.protocol.QueryIndex`, so
+``QueryService.set_tree`` serves one exactly like a single tree, and
+per-query stats are the *elementwise sum* of the per-shard
+:class:`~repro.index.trajtree.TrajTreeStats` counters (each shard's work
+is counted exactly once — asserted in ``tests/test_trajtree_stats.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.trajectory import Trajectory
+from ..store import ColumnarStore
+from .trajtree import TrajTree, TrajTreeStats
+
+__all__ = ["TrajForest", "assign_shards", "SHARD_SCHEMES"]
+
+PathLike = Union[str, Path]
+
+#: Documented shard-assignment schemes (DESIGN.md, "Shard assignment"):
+#: ``round_robin`` — dataset position modulo shard count (default;
+#: perfectly balanced, never empty); ``hash`` — Knuth multiplicative hash
+#: of the trajectory id, stable under reordering of the dataset.
+SHARD_SCHEMES = ("round_robin", "hash")
+
+
+def _hash_shard(traj_id: int, num_shards: int) -> int:
+    """Knuth multiplicative hash of the id, folded to a shard index."""
+    return ((traj_id * 2654435761) & 0xFFFFFFFF) % num_shards
+
+
+def assign_shards(
+    ids: Sequence[int], num_shards: int, scheme: str = "round_robin"
+) -> List[List[int]]:
+    """Partition dataset *positions* into shard groups.
+
+    Returns one list of positions (indices into the dataset order) per
+    shard.  ``num_shards`` is clamped to the dataset size; with the
+    ``hash`` scheme shards that receive no trajectory are dropped (a
+    TrajTree cannot index an empty database), so the returned list may be
+    shorter than requested — every group is non-empty.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    if scheme not in SHARD_SCHEMES:
+        raise ValueError(
+            f"unknown shard scheme {scheme!r}; expected one of {SHARD_SCHEMES}"
+        )
+    n = len(ids)
+    num_shards = min(num_shards, n) if n else num_shards
+    groups: List[List[int]] = [[] for _ in range(num_shards)]
+    for pos in range(n):
+        if scheme == "round_robin":
+            shard = pos % num_shards
+        else:
+            shard = _hash_shard(int(ids[pos]), num_shards)
+        groups[shard].append(pos)
+    return [g for g in groups if g]
+
+
+def _build_shard_from_store(
+    store_path: str, positions: List[int], tree_kwargs: dict
+) -> TrajTree:
+    """Worker-process entry point: mmap the store, build one shard tree.
+
+    Each worker opens its own read-only map of ``points.npy`` (page-cache
+    shared across processes), materializes only its shard's trajectory
+    views, and ships the finished tree back through pickle (store-backed
+    views pickle as plain arrays, so the returned tree is self-contained).
+    """
+    store = ColumnarStore.load(store_path, mmap=True)
+    trajs = [store.trajectory(pos) for pos in positions]
+    return TrajTree(trajs, **tree_kwargs)
+
+
+def _shard_seed(seed: int, shard: int) -> int:
+    """Per-shard build seed: decorrelates pivot/VP draws across shards."""
+    return seed + 1_000_003 * shard
+
+
+def _accumulate(total: TrajTreeStats, delta: TrajTreeStats) -> None:
+    """Elementwise ``total += delta`` over every counter field."""
+    for f in fields(TrajTreeStats):
+        setattr(total, f.name, getattr(total, f.name) + getattr(delta, f.name))
+
+
+class TrajForest:
+    """A forest of independent TrajTrees over a sharded dataset.
+
+    Parameters
+    ----------
+    trajectories:
+        The database to shard and index.  Global trajectory ids follow
+        the single-tree rule (provided ids when all present and unique,
+        positional otherwise) so forest answers share the id space of a
+        ``TrajTree`` over the same dataset.
+    num_shards:
+        Requested shard count (clamped to the dataset size; see
+        :func:`assign_shards`).
+    scheme:
+        Shard-assignment scheme, one of :data:`SHARD_SCHEMES`.
+    seed:
+        Base build seed; shard ``i`` builds with a seed derived from it
+        (:func:`_shard_seed`) so shard trees make decorrelated pivot/VP
+        draws.
+    **tree_kwargs:
+        Forwarded verbatim to every shard's :class:`TrajTree` constructor
+        (``theta``, ``min_node_size``, ``normalized``, ``backend``, ...).
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        num_shards: int = 4,
+        scheme: str = "round_robin",
+        seed: int = 0,
+        **tree_kwargs,
+    ):
+        trajectories = list(trajectories)
+        if not trajectories:
+            raise ValueError("cannot index an empty database")
+        provided = [t.traj_id for t in trajectories]
+        use_provided = all(p is not None for p in provided) and len(
+            set(provided)
+        ) == len(provided)
+        if use_provided:
+            ids = [int(p) for p in provided]
+            globalized = trajectories
+        else:
+            # Rewrap with explicit positional ids sharing the same data
+            # arrays (zero-copy) so every shard tree keys on global ids.
+            ids = list(range(len(trajectories)))
+            globalized = [
+                Trajectory(t.data, traj_id=pos, label=t.label,
+                           validate=False)
+                for pos, t in enumerate(trajectories)
+            ]
+        groups = assign_shards(ids, num_shards, scheme)
+        shards = [
+            TrajTree(
+                [globalized[pos] for pos in group],
+                seed=_shard_seed(seed, i),
+                **tree_kwargs,
+            )
+            for i, group in enumerate(groups)
+        ]
+        self._init_from_shards(shards, scheme, seed, tree_kwargs)
+
+    # ------------------------------------------------------------------ #
+    # alternate constructors
+    # ------------------------------------------------------------------ #
+
+    def _init_from_shards(
+        self,
+        shards: List[TrajTree],
+        scheme: str,
+        seed: int,
+        tree_kwargs: dict,
+    ) -> None:
+        if not shards:
+            raise ValueError("a forest needs at least one shard")
+        normalized = {tree.normalized for tree in shards}
+        if len(normalized) != 1:
+            raise ValueError(
+                "every shard must share one normalization setting"
+            )
+        self.shards = shards
+        self.scheme = scheme
+        self.seed = seed
+        self.tree_kwargs = dict(tree_kwargs)
+        self.normalized = normalized.pop()
+        self._shard_of: Dict[int, int] = {}
+        for i, tree in enumerate(shards):
+            for tid in tree.ids():
+                if tid in self._shard_of:
+                    raise ValueError(
+                        f"trajectory id {tid} appears in more than one shard"
+                    )
+                self._shard_of[tid] = i
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence[TrajTree],
+        scheme: str = "round_robin",
+        seed: int = 0,
+    ) -> "TrajForest":
+        """Assemble a forest from already-built shard trees.
+
+        Used by snapshot loading (:func:`repro.index.persistence.
+        load_forest`); shard id spaces must be disjoint.
+        """
+        forest = cls.__new__(cls)
+        forest._init_from_shards(list(shards), scheme, seed, {})
+        return forest
+
+    @classmethod
+    def from_store(
+        cls,
+        store: Union[ColumnarStore, PathLike],
+        num_shards: int = 4,
+        scheme: str = "round_robin",
+        seed: int = 0,
+        workers: Optional[int] = None,
+        **tree_kwargs,
+    ) -> "TrajForest":
+        """Build a forest straight from a columnar store.
+
+        ``store`` may be a loaded :class:`~repro.store.ColumnarStore` or
+        a store directory path.  With ``workers > 1`` *and* a path, shard
+        trees build in that many worker processes, each memory-mapping
+        the store independently (`np.load(..., mmap_mode="r")`) — the
+        parent never materializes the whole dataset, and builds scale
+        with cores.  Otherwise shards build serially in-process from
+        zero-copy store views.  Both paths produce identical forests
+        given identical parameters (worker fan-out does not change any
+        build decision — each shard's seed is derived from its index).
+        """
+        store_path: Optional[Path] = None
+        if not isinstance(store, ColumnarStore):
+            store_path = Path(store)
+            store = ColumnarStore.load(store_path, mmap=True)
+        ids = [int(t) for t in store.ids]
+        groups = assign_shards(ids, num_shards, scheme)
+
+        if workers is not None and workers > 1 and store_path is not None \
+                and len(groups) > 1:
+            jobs = [
+                (str(store_path), group,
+                 dict(tree_kwargs, seed=_shard_seed(seed, i)))
+                for i, group in enumerate(groups)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                shards = list(
+                    pool.map(_build_shard_from_store, *zip(*jobs))
+                )
+        else:
+            shards = [
+                TrajTree(
+                    [store.trajectory(pos) for pos in group],
+                    seed=_shard_seed(seed, i),
+                    **tree_kwargs,
+                )
+                for i, group in enumerate(groups)
+            ]
+        forest = cls.__new__(cls)
+        forest._init_from_shards(shards, scheme, seed, dict(tree_kwargs))
+        return forest
+
+    # ------------------------------------------------------------------ #
+    # container surface (mirrors TrajTree's)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self.shards)
+
+    def __contains__(self, traj_id: int) -> bool:
+        return traj_id in self._shard_of
+
+    def shard_of(self, traj_id: int) -> int:
+        """The shard index holding this trajectory id."""
+        return self._shard_of[traj_id]
+
+    def get(self, traj_id: int) -> Trajectory:
+        """The stored trajectory with this id."""
+        return self.shards[self._shard_of[traj_id]].get(traj_id)
+
+    def ids(self) -> List[int]:
+        """All indexed trajectory ids, ascending."""
+        return sorted(self._shard_of)
+
+    @property
+    def build_stats(self) -> TrajTreeStats:
+        """Elementwise sum of the per-shard build counters."""
+        total = TrajTreeStats()
+        for tree in self.shards:
+            _accumulate(total, tree.build_stats)
+        return total
+
+    def storage_summary(self) -> Dict[str, int]:
+        """Aggregated per-shard storage counts (elementwise sum)."""
+        total: Dict[str, int] = {}
+        for tree in self.shards:
+            for key, value in tree.storage_summary().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def warm_caches(self) -> None:
+        """Warm every shard's lazy caches (see ``TrajTree.warm_caches``)."""
+        for tree in self.shards:
+            tree.warm_caches()
+
+    # ------------------------------------------------------------------ #
+    # queries: fan out, k-way merge
+    # ------------------------------------------------------------------ #
+
+    def _fanout(
+        self,
+        method: str,
+        query: Trajectory,
+        param,
+        stats: Optional[TrajTreeStats],
+    ) -> List[List[Tuple[int, float]]]:
+        """Run one query method on every shard, folding stats sums."""
+        per_shard: List[List[Tuple[int, float]]] = []
+        for tree in self.shards:
+            shard_stats = TrajTreeStats()
+            per_shard.append(
+                getattr(tree, method)(query, param, stats=shard_stats)
+            )
+            if stats is not None:
+                _accumulate(stats, shard_stats)
+        return per_shard
+
+    @staticmethod
+    def _merge_topk(
+        per_shard: List[List[Tuple[int, float]]], k: int
+    ) -> List[Tuple[int, float]]:
+        """K-way merge of per-shard result lists, keeping the global k.
+
+        Every shard list is already sorted by the library-wide tie order
+        — ascending ``(distance, traj_id)`` — so the lazy heap merge
+        yields the global order and stops after ``k`` items.
+        """
+        merged = heapq.merge(*per_shard, key=lambda r: (r[1], r[0]))
+        return list(itertools.islice(merged, k))
+
+    def knn(
+        self,
+        query: Trajectory,
+        k: int,
+        stats: Optional[TrajTreeStats] = None,
+    ) -> List[Tuple[int, float]]:
+        """Exact k nearest neighbours across all shards.
+
+        Identical to ``TrajTree.knn`` over the unsharded dataset: each
+        shard returns its exact top-k, and the k-way merge keeps the
+        global top-k under the same ``(distance, traj_id)`` tie order.
+        ``stats`` (optional) accumulates the summed per-shard counters.
+        """
+        per_shard = self._fanout("knn", query, int(k), stats)
+        return self._merge_topk(per_shard, int(k))
+
+    def range_query(
+        self,
+        query: Trajectory,
+        radius: float,
+        stats: Optional[TrajTreeStats] = None,
+    ) -> List[Tuple[int, float]]:
+        """All trajectories within ``radius``, merged across shards."""
+        per_shard = self._fanout("range_query", query, float(radius), stats)
+        out = [hit for shard in per_shard for hit in shard]
+        out.sort(key=lambda r: (r[1], r[0]))
+        return out
+
+    def subtrajectory_knn(
+        self,
+        query: Trajectory,
+        k: int,
+        stats: Optional[TrajTreeStats] = None,
+    ) -> List[Tuple[int, float]]:
+        """Best-k sub-trajectory matches across all shards (raw EDwPsub)."""
+        per_shard = self._fanout("subtrajectory_knn", query, int(k), stats)
+        return self._merge_topk(per_shard, int(k))
+
+    def query_many(
+        self,
+        requests: Sequence[Tuple[str, Trajectory, float]],
+    ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]:
+        """Reentrant multi-query dispatch — the forest half of the
+        :class:`~repro.index.protocol.QueryIndex` contract.
+
+        Same semantics as :meth:`TrajTree.query_many`: one
+        ``(results, stats)`` pair per request in order, duplicates
+        (same kind, parameter, and bit-identical query points)
+        singleflighted to the *same* result/stats objects.  Each
+        request's stats are the per-shard sums.
+        """
+        dispatch = {
+            "knn": lambda q, p, s: self.knn(q, int(p), stats=s),
+            "range": lambda q, p, s: self.range_query(q, float(p), stats=s),
+            "subtrajectory_knn":
+                lambda q, p, s: self.subtrajectory_knn(q, int(p), stats=s),
+        }
+        out: List[Tuple[List[Tuple[int, float]], TrajTreeStats]] = []
+        seen: Dict[Tuple[str, float, bytes], int] = {}
+        for kind, query, param in requests:
+            if kind not in dispatch:
+                raise ValueError(
+                    f"unknown query kind {kind!r}; expected one of "
+                    f"{tuple(dispatch)}"
+                )
+            key = (kind, float(param), query.data.tobytes())
+            first = seen.get(key)
+            if first is not None:
+                out.append(out[first])
+                continue
+            seen[key] = len(out)
+            stats = TrajTreeStats()
+            out.append((dispatch[kind](query, param, stats), stats))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajForest(shards={self.num_shards}, trajectories={len(self)}, "
+            f"scheme={self.scheme!r})"
+        )

@@ -1,26 +1,48 @@
-"""TrajTree persistence.
+"""TrajTree and TrajForest persistence.
 
 Index construction is the expensive phase (`O(|D|^2 / bf)` EDwPsub
 alignments, Sec. IV-F), so a production deployment builds once and reloads
-thereafter.  The tree is a plain object graph of floats/ints/numpy arrays;
-pickle round-trips it faithfully, and a version/fingerprint header guards
-against loading an index built by an incompatible library version or over a
-different database.
+thereafter.  Two snapshot formats exist:
+
+* **Single tree** — one pickle file with a version/fingerprint header
+  (:func:`save_tree` / :func:`load_tree`).  The tree is a plain object
+  graph of floats/ints/numpy arrays; pickle round-trips it faithfully.
+* **Forest** — a directory: a ``forest.json`` manifest (magic, format
+  version, shard scheme, per-shard filenames and fingerprints) next to
+  one single-tree pickle per shard (:func:`save_forest` /
+  :func:`load_forest`, the ``ForestSnapshot`` layout of DESIGN.md,
+  "Columnar store and sharded forest").  Shards load independently, so a
+  damaged snapshot fails with a :class:`ShardLoadError` *naming the
+  shard* instead of a bare ``FileNotFoundError``.
+
+The two formats version-gate each other cleanly: pointing
+:func:`load_tree` at a forest directory (or :func:`load_forest` at a
+single-tree pickle — including legacy 1.2.0 files) raises a ``ValueError``
+telling you which loader to use.
 
 Pickle executes code on load; only load index files you created.  (The
-trajectory *data* has a portable exchange format in
-:mod:`repro.datasets.io`; the index is a cache, not an interchange format.)
+trajectory *data* has portable exchange formats in
+:mod:`repro.datasets.io` and :mod:`repro.store`; the index is a cache,
+not an interchange format.)
 """
 
 from __future__ import annotations
 
+import json
 import pickle
 from pathlib import Path
 from typing import Union
 
+from .forest import SHARD_SCHEMES, TrajForest
 from .trajtree import TrajTree
 
-__all__ = ["save_tree", "load_tree"]
+__all__ = [
+    "save_tree",
+    "load_tree",
+    "save_forest",
+    "load_forest",
+    "ShardLoadError",
+]
 
 PathLike = Union[str, Path]
 
@@ -31,6 +53,28 @@ _MAGIC = "repro-trajtree"
 #: cache itself is excluded from pickles, but the slot changes the state
 #: shape old readers expect, exactly like the Trajectory bump before it)
 _FORMAT_VERSION = "1.2.0"
+
+_FOREST_MAGIC = "repro-trajforest"
+#: the ForestSnapshot manifest version; bumped when the manifest schema
+#: or the shard layout changes (shard payloads additionally carry the
+#: single-tree version gate above)
+_FOREST_VERSION = "1.0.0"
+_FOREST_MANIFEST = "forest.json"
+
+
+class ShardLoadError(ValueError):
+    """One shard of a forest snapshot is missing or unreadable.
+
+    Carries ``shard`` (the shard index) and ``filename`` so operators can
+    see exactly which piece of the snapshot to restore.
+    """
+
+    def __init__(self, shard: int, filename: str, reason: str):
+        self.shard = shard
+        self.filename = filename
+        super().__init__(
+            f"forest shard {shard} ({filename}) {reason}"
+        )
 
 
 def _fingerprint(tree: TrajTree) -> dict:
@@ -60,8 +104,17 @@ def load_tree(path: PathLike) -> TrajTree:
 
     Raises ``ValueError`` for files that are not TrajTree snapshots or were
     written by a different library version (rebuild instead: bounds and
-    defaults may have changed between versions).
+    defaults may have changed between versions), and for forest snapshot
+    directories (load those with :func:`load_forest`).
     """
+    p = Path(path)
+    if p.is_dir():
+        if (p / _FOREST_MANIFEST).is_file():
+            raise ValueError(
+                f"{p!s} is a forest snapshot; load it with load_forest "
+                f"(or serve it with --forest)"
+            )
+        raise ValueError(f"{p!s} is a directory, not a TrajTree snapshot")
     with open(path, "rb") as f:
         payload = pickle.load(f)
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
@@ -77,3 +130,117 @@ def load_tree(path: PathLike) -> TrajTree:
     if _fingerprint(tree) != payload.get("fingerprint"):
         raise ValueError(f"{path!s} fingerprint mismatch; file corrupted?")
     return tree
+
+
+# ---------------------------------------------------------------------- #
+# ForestSnapshot
+# ---------------------------------------------------------------------- #
+
+
+def _shard_filename(shard: int) -> str:
+    return f"shard_{shard:04d}.pkl"
+
+
+def save_forest(forest: TrajForest, path: PathLike) -> None:
+    """Write a TrajForest as a snapshot directory (the ForestSnapshot
+    layout): ``forest.json`` + one single-tree pickle per shard.
+
+    Shards are written through :func:`save_tree`, so each carries its own
+    version gate and fingerprint; the manifest pins the shard count, the
+    assignment scheme, and every shard's fingerprint for a cheap
+    integrity check at load time.
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    shards = []
+    for i, tree in enumerate(forest.shards):
+        filename = _shard_filename(i)
+        save_tree(tree, root / filename)
+        shards.append({
+            "file": filename,
+            "fingerprint": _fingerprint(tree),
+        })
+    manifest = {
+        "magic": _FOREST_MAGIC,
+        "version": _FOREST_VERSION,
+        "scheme": forest.scheme,
+        "seed": forest.seed,
+        "trajectories": len(forest),
+        "shards": shards,
+    }
+    (root / _FOREST_MANIFEST).write_text(json.dumps(manifest, indent=1))
+
+
+def load_forest(path: PathLike) -> TrajForest:
+    """Load a TrajForest written by :func:`save_forest`.
+
+    Raises ``ValueError`` for paths that are not forest snapshots —
+    including single-tree pickles (legacy 1.2.0 files and current ones),
+    which get a message pointing at :func:`load_tree` — and
+    :class:`ShardLoadError` naming the shard when a shard file is
+    missing, truncated, or fails its own version/fingerprint gate.
+    """
+    root = Path(path)
+    if root.is_file():
+        # A single-tree pickle (any version, including legacy 1.2.0
+        # files): refuse with a pointer at the right loader rather than
+        # failing inside the manifest parse.
+        raise ValueError(
+            f"{root!s} is a single-tree snapshot, not a forest snapshot "
+            f"directory; load it with load_tree (or serve it with --index)"
+        )
+    if not root.is_dir() or not (root / _FOREST_MANIFEST).is_file():
+        raise ValueError(f"{root!s} is not a forest snapshot")
+    try:
+        manifest = json.loads((root / _FOREST_MANIFEST).read_text())
+    except ValueError as exc:
+        raise ValueError(
+            f"{root!s}: forest manifest is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(manifest, dict) \
+            or manifest.get("magic") != _FOREST_MAGIC:
+        raise ValueError(f"{root!s} is not a forest snapshot")
+    if manifest.get("version") != _FOREST_VERSION:
+        raise ValueError(
+            f"forest snapshot was written by version "
+            f"{manifest.get('version')}, this library expects "
+            f"{_FOREST_VERSION}; rebuild the forest"
+        )
+    scheme = manifest.get("scheme", "round_robin")
+    if scheme not in SHARD_SCHEMES:
+        raise ValueError(
+            f"{root!s}: unknown shard scheme {scheme!r} in manifest"
+        )
+    entries = manifest.get("shards")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{root!s}: forest manifest lists no shards")
+
+    trees = []
+    for i, entry in enumerate(entries):
+        filename = entry.get("file", _shard_filename(i))
+        file = root / filename
+        if not file.is_file():
+            raise ShardLoadError(i, filename, "is missing")
+        try:
+            tree = load_tree(file)
+        except (ValueError, OSError, EOFError,
+                pickle.UnpicklingError) as exc:
+            raise ShardLoadError(
+                i, filename, f"failed to load: {exc}"
+            ) from None
+        if entry.get("fingerprint") is not None \
+                and _fingerprint(tree) != entry["fingerprint"]:
+            raise ShardLoadError(
+                i, filename, "fingerprint mismatch; file corrupted?"
+            )
+        trees.append(tree)
+
+    forest = TrajForest.from_shards(
+        trees, scheme=scheme, seed=int(manifest.get("seed", 0))
+    )
+    if len(forest) != manifest.get("trajectories"):
+        raise ValueError(
+            f"{root!s}: manifest promises {manifest.get('trajectories')} "
+            f"trajectories, shards hold {len(forest)}"
+        )
+    return forest

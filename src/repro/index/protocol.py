@@ -1,0 +1,98 @@
+"""The query protocol shared by single trees and sharded forests.
+
+:class:`~repro.index.trajtree.TrajTree` and
+:class:`~repro.index.forest.TrajForest` answer the same query surface —
+``knn`` / ``range_query`` / ``subtrajectory_knn``, the reentrant
+``query_many`` dispatch, and the ``warm_caches`` / ``__len__`` /
+``normalized`` plumbing the service layer leans on.
+:class:`QueryIndex` names that surface so
+:class:`repro.service.server.QueryService` can hold either interchangeably
+(``set_tree`` accepts anything conforming) and so future index
+implementations know exactly what to provide.
+
+``REQUIRED_QUERY_INDEX_ATTRS`` is the runtime checklist
+(:func:`ensure_query_index`): protocol ``isinstance`` checks cannot see
+non-method members on every supported Python version, so the service
+validates attribute presence explicitly and raises a ``TypeError`` naming
+what is missing.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..core.trajectory import Trajectory
+from .trajtree import TrajTreeStats
+
+__all__ = ["QueryIndex", "REQUIRED_QUERY_INDEX_ATTRS", "ensure_query_index"]
+
+#: Attributes every servable index must expose (methods plus the
+#: ``normalized`` flag the stats endpoint reports).
+REQUIRED_QUERY_INDEX_ATTRS = (
+    "knn",
+    "range_query",
+    "subtrajectory_knn",
+    "query_many",
+    "warm_caches",
+    "normalized",
+    "__len__",
+)
+
+
+@runtime_checkable
+class QueryIndex(Protocol):
+    """Anything that answers TrajTree-shaped queries over a trajectory db.
+
+    Result lists are ``[(traj_id, distance), ...]`` sorted ascending by
+    ``(distance, traj_id)`` — the library-wide tie policy — and
+    ``query_many`` follows the reentrancy + duplicate-singleflight
+    contract documented on :meth:`repro.index.trajtree.TrajTree.query_many`.
+    """
+
+    normalized: bool
+
+    def __len__(self) -> int: ...
+
+    def knn(
+        self, query: Trajectory, k: int, stats=None
+    ) -> List[Tuple[int, float]]: ...
+
+    def range_query(
+        self, query: Trajectory, radius: float, stats=None
+    ) -> List[Tuple[int, float]]: ...
+
+    def subtrajectory_knn(
+        self, query: Trajectory, k: int, stats=None
+    ) -> List[Tuple[int, float]]: ...
+
+    def query_many(
+        self, requests: Sequence[Tuple[str, Trajectory, float]]
+    ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]: ...
+
+    def warm_caches(self) -> None: ...
+
+
+def ensure_query_index(index: object) -> None:
+    """Raise ``TypeError`` naming the attributes ``index`` is missing.
+
+    The runtime gate behind :class:`QueryIndex`: called by
+    ``QueryService`` on construction and on every ``set_tree`` swap, so a
+    non-conforming object fails fast with an actionable message instead
+    of deep inside a query.
+    """
+    missing = [
+        name
+        for name in REQUIRED_QUERY_INDEX_ATTRS
+        if not hasattr(index, name)
+    ]
+    if missing:
+        raise TypeError(
+            f"{type(index).__name__} does not implement the QueryIndex "
+            f"protocol; missing: {', '.join(sorted(missing))}"
+        )

@@ -1,7 +1,10 @@
 """The query service: warm indexes behind a coalescing asyncio front-end.
 
-:class:`QueryService` owns one loaded :class:`~repro.index.trajtree.TrajTree`
-and answers kNN / range / subtrajectory-kNN requests through three layers:
+:class:`QueryService` owns one loaded index — anything conforming to the
+:class:`~repro.index.protocol.QueryIndex` protocol: a single
+:class:`~repro.index.trajtree.TrajTree` or a sharded
+:class:`~repro.index.forest.TrajForest` — and answers kNN / range /
+subtrajectory-kNN requests through three layers:
 
 1. an LRU **result cache** keyed on ``(snapshot id, query digest)`` —
    loading a new index bumps the snapshot id, which invalidates every
@@ -37,7 +40,8 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..index.trajtree import TrajTree, TrajTreeStats
+from ..index.protocol import QueryIndex, ensure_query_index
+from ..index.trajtree import TrajTreeStats
 from .batcher import CoalescingBatcher
 from .cache import LRUCache
 from .protocol import (
@@ -92,8 +96,9 @@ class QueryService:
     thread never races a lazy cache fill.
     """
 
-    def __init__(self, tree: TrajTree, config: Optional[ServiceConfig] = None,
+    def __init__(self, tree: QueryIndex, config: Optional[ServiceConfig] = None,
                  warm: bool = True):
+        ensure_query_index(tree)
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
         self.cache = LRUCache(self.config.cache_capacity)
@@ -115,17 +120,22 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     @property
-    def tree(self) -> TrajTree:
-        """The currently served index."""
+    def tree(self) -> QueryIndex:
+        """The currently served index (a single tree or a forest)."""
         return self._tree
 
-    def set_tree(self, tree: TrajTree, warm: bool = True) -> int:
+    def set_tree(self, tree: QueryIndex, warm: bool = True) -> int:
         """Swap in a new index snapshot.
 
-        Bumps the snapshot id — the cache keys on it, so every result
-        computed on the old index becomes unreachable — and drops the dead
-        entries so they stop occupying capacity.  Returns the new id.
+        Accepts any :class:`~repro.index.protocol.QueryIndex` — a single
+        :class:`~repro.index.trajtree.TrajTree` or a
+        :class:`~repro.index.forest.TrajForest` — and raises ``TypeError``
+        naming the missing attributes otherwise.  Bumps the snapshot id —
+        the cache keys on it, so every result computed on the old index
+        becomes unreachable — and drops the dead entries so they stop
+        occupying capacity.  Returns the new id.
         """
+        ensure_query_index(tree)
         if warm:
             tree.warm_caches()
         self._tree = tree

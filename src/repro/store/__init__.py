@@ -1,0 +1,16 @@
+"""repro.store — columnar, memory-mappable trajectory storage.
+
+Packs a ragged trajectory dataset into one contiguous ``(P, 3)`` float64
+point matrix plus an int64 offsets prefix array (ids and labels ride
+along), persisted as plain ``.npy`` files loadable with
+``np.load(..., mmap_mode="r")``.  Store-backed
+:class:`~repro.core.trajectory.Trajectory` views are zero-copy, so every
+distance kernel and index in the library consumes them unchanged — see
+DESIGN.md ("Columnar store and sharded forest") for the layout and the
+offsets contract, and ``python -m repro build-store`` for the CLI entry
+point.
+"""
+
+from .columnar import ColumnarStore, StoreError
+
+__all__ = ["ColumnarStore", "StoreError"]

@@ -34,6 +34,7 @@ def test_design_md_keeps_promised_sections():
         "## Index bound kernels",
         "### Batched leaf refinement",
         "## Query service",
+        "## Columnar store and sharded forest",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -55,6 +56,12 @@ def test_design_md_keeps_promised_sections():
                     "ServiceOverloaded", "RequestTimeout", "query_many",
                     "service_gate", "naive serial dispatch"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the store/forest section must keep its sub-contracts
+    for keyword in ("offsets[-1] == P", "round-robin",
+                    "mmap_mode=\"r\"", "StoreError", "heapq.merge",
+                    "(distance, traj_id)", "forest.json", "ShardLoadError",
+                    "forest_gate", "elementwise sum"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # in-page anchors that README/docstrings point at must resolve to a
     # heading (GitHub slug rule: lowercase, spaces -> dashes)
     slugs = {
@@ -65,7 +72,8 @@ def test_design_md_keeps_promised_sections():
     for anchor in ("baseline-kernels", "dual-backend-edwp-kernels",
                    "the-edwpsub-dp-realization", "trajtree-leaf-refinement",
                    "dataset-substitution-table", "index-bound-kernels",
-                   "batched-leaf-refinement", "query-service"):
+                   "batched-leaf-refinement", "query-service",
+                   "columnar-store-and-sharded-forest"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -95,5 +103,14 @@ def test_readme_covers_the_promised_ground():
         "ServiceClient",
         "DESIGN.md#query-service",
         "bench_service_throughput.py",
+        # the columnar-store / forest quickstart and gate
+        "repro.store",
+        "build-store",
+        "build-forest",
+        "--forest",
+        "TrajForest",
+        "ColumnarStore",
+        "DESIGN.md#columnar-store-and-sharded-forest",
+        "bench_forest_scale.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

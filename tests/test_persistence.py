@@ -1,22 +1,39 @@
-"""TrajTree save/load round-trip tests."""
+"""TrajTree and TrajForest save/load round-trip and fault tests."""
 
+import json
 import pickle
 
 import numpy as np
 import pytest
 
-from repro.index import TrajTree
-from repro.index.persistence import load_tree, save_tree
+from repro.index import TrajForest, TrajTree
+from repro.index.persistence import (
+    ShardLoadError,
+    load_forest,
+    load_tree,
+    save_forest,
+    save_tree,
+)
 
 from helpers import random_walk_trajectory
 
 
 @pytest.fixture(scope="module")
-def tree():
+def database():
     rng = np.random.default_rng(61)
-    db = [random_walk_trajectory(rng, int(rng.integers(4, 9)))
-          for _ in range(30)]
-    return TrajTree(db, num_vps=8, min_node_size=6, seed=4)
+    return [random_walk_trajectory(rng, int(rng.integers(4, 9)))
+            for _ in range(30)]
+
+
+@pytest.fixture(scope="module")
+def tree(database):
+    return TrajTree(database, num_vps=8, min_node_size=6, seed=4)
+
+
+@pytest.fixture(scope="module")
+def forest(database):
+    return TrajForest(database, num_shards=3, num_vps=4, min_node_size=6,
+                      seed=4)
 
 
 class TestRoundTrip:
@@ -80,3 +97,139 @@ class TestValidation:
             pickle.dump(payload, f)
         with pytest.raises(ValueError, match="fingerprint"):
             load_tree(path)
+
+
+class TestForestRoundTrip:
+    def test_results_identical(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        loaded = load_forest(path)
+        assert loaded.num_shards == forest.num_shards
+        assert loaded.scheme == forest.scheme
+        assert loaded.seed == forest.seed
+        assert loaded.ids() == forest.ids()
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            q = random_walk_trajectory(rng, 7)
+            assert loaded.knn(q, 5) == forest.knn(q, 5)
+            radius = forest.knn(q, 4)[-1][1] * 1.1
+            assert loaded.range_query(q, radius) == \
+                forest.range_query(q, radius)
+
+    def test_snapshot_layout(self, forest, tmp_path):
+        """ForestSnapshot on disk: forest.json + one pickle per shard,
+        each shard loadable by load_tree on its own."""
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        manifest = json.loads((path / "forest.json").read_text())
+        assert manifest["magic"] == "repro-trajforest"
+        assert manifest["version"] == "1.0.0"
+        assert manifest["scheme"] == forest.scheme
+        assert manifest["trajectories"] == len(forest)
+        assert len(manifest["shards"]) == forest.num_shards
+        for i, entry in enumerate(manifest["shards"]):
+            assert entry["file"] == f"shard_{i:04d}.pkl"
+            shard = load_tree(path / entry["file"])
+            assert shard.ids() == forest.shards[i].ids()
+
+
+class TestForestValidation:
+    """The two snapshot formats must version-gate each other cleanly,
+    and shard damage must name the shard (ISSUE 7 fault surface)."""
+
+    def test_load_forest_rejects_single_tree_pickle(self, tree, tmp_path):
+        """A current-format single-tree pickle pointed at load_forest:
+        clean ValueError naming the right loader, not a manifest parse
+        crash."""
+        path = tmp_path / "index.pkl"
+        save_tree(tree, path)
+        with pytest.raises(ValueError, match="single-tree snapshot.*load_tree"):
+            load_forest(path)
+
+    def test_load_forest_rejects_legacy_tree_pickle(self, tree, tmp_path):
+        """Same for a *legacy*-version single-tree file (the 1.2.0 format
+        gate lives in load_tree; load_forest must not get that far)."""
+        path = tmp_path / "legacy.pkl"
+        save_tree(tree, path)
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+        payload["version"] = "1.1.0"
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+        with pytest.raises(ValueError, match="single-tree snapshot"):
+            load_forest(path)
+
+    def test_load_tree_rejects_forest_directory(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        with pytest.raises(ValueError, match="forest snapshot.*load_forest"):
+            load_tree(path)
+        with pytest.raises(ValueError, match="directory"):
+            load_tree(tmp_path)
+
+    def test_rejects_non_forest_paths(self, tmp_path):
+        with pytest.raises(ValueError, match="not a forest snapshot"):
+            load_forest(tmp_path / "nope")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="not a forest snapshot"):
+            load_forest(empty)
+
+    def test_rejects_manifest_version_mismatch(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        manifest = json.loads((path / "forest.json").read_text())
+        manifest["version"] = "9.0.0"
+        (path / "forest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="9.0.0.*rebuild the forest"):
+            load_forest(path)
+
+    def test_rejects_corrupt_manifest(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        (path / "forest.json").write_text("{broken")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_forest(path)
+
+    def test_missing_shard_names_the_shard(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        (path / "shard_0001.pkl").unlink()
+        with pytest.raises(ShardLoadError, match="shard 1.*shard_0001.pkl") \
+                as excinfo:
+            load_forest(path)
+        assert excinfo.value.shard == 1
+        assert excinfo.value.filename == "shard_0001.pkl"
+        assert "missing" in str(excinfo.value)
+
+    def test_truncated_shard_names_the_shard(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        raw = (path / "shard_0002.pkl").read_bytes()
+        (path / "shard_0002.pkl").write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(ShardLoadError, match="shard 2.*failed to load"):
+            load_forest(path)
+
+    def test_shard_fingerprint_mismatch_names_the_shard(self, forest,
+                                                        tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        manifest = json.loads((path / "forest.json").read_text())
+        manifest["shards"][0]["fingerprint"]["count"] = 999
+        (path / "forest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ShardLoadError, match="shard 0.*fingerprint"):
+            load_forest(path)
+
+    def test_manifest_count_mismatch(self, forest, tmp_path):
+        path = tmp_path / "forest"
+        save_forest(forest, path)
+        manifest = json.loads((path / "forest.json").read_text())
+        manifest["trajectories"] = 999
+        (path / "forest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="promises 999"):
+            load_forest(path)
+
+    def test_shard_load_error_is_a_value_error(self):
+        err = ShardLoadError(3, "shard_0003.pkl", "is missing")
+        assert isinstance(err, ValueError)
+        assert str(err) == "forest shard 3 (shard_0003.pkl) is missing"

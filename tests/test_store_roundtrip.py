@@ -1,0 +1,241 @@
+"""Property-based round-trip tests for the columnar store.
+
+The store's contract (DESIGN.md, "Columnar store and sharded forest") is
+that packing a ragged trajectory set into ``(points, offsets)`` arrays,
+saving, and reloading — in-memory or memory-mapped — is *lossless*:
+coordinates and ids come back bit-identical, and every EDwP kernel
+produces exactly the same floats on store-backed trajectory views as on
+the original object-backed trajectories.  Hypothesis drives the packing
+over arbitrary ragged datasets (length-1/length-2 degenerates, duplicate
+points, duplicated whole trajectories included); the fault half pins the
+typed :class:`~repro.store.StoreError` surface.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Trajectory, edwp, edwp_many
+from repro.store import ColumnarStore, StoreError
+
+
+def _point():
+    coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+    return st.tuples(coord, coord, st.floats(0, 1000, allow_nan=False,
+                                             allow_infinity=False))
+
+
+def _make_trajectory(pts):
+    """Timestamps must be non-decreasing; sorting the drawn t column keeps
+    duplicate points (and duplicate timestamps) in the mix."""
+    arr = np.asarray(pts, dtype=np.float64)
+    arr[:, 2] = np.sort(arr[:, 2])
+    return Trajectory(arr)
+
+
+def _trajectory(min_points=1, max_points=8):
+    """Points are drawn independently, so duplicate points occur naturally
+    (hypothesis shrinks toward repeated simple values)."""
+    return st.lists(_point(), min_size=min_points, max_size=max_points).map(
+        _make_trajectory
+    )
+
+
+def _dataset(min_trajs=1, max_trajs=8):
+    return st.lists(_trajectory(), min_size=min_trajs, max_size=max_trajs)
+
+
+def _assert_store_matches(store, db):
+    assert len(store) == len(db)
+    assert store.num_points == sum(len(t) for t in db)
+    for pos, original in enumerate(db):
+        view = store.trajectory(pos)
+        # bit-identical coordinates: == on the float64 arrays, not approx
+        assert np.array_equal(view.data, original.data)
+        assert view.data.dtype == np.float64
+        assert len(view) == len(original)
+
+
+# ---------------------------------------------------------------------- #
+# round trips
+# ---------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, deadline=None)
+@given(_dataset())
+def test_pack_roundtrip_in_memory(db):
+    store = ColumnarStore.from_trajectories(db)
+    _assert_store_matches(store, db)
+    # offsets contract
+    assert int(store.offsets[0]) == 0
+    assert np.all(np.diff(store.offsets) >= 0)
+    assert int(store.offsets[-1]) == store.points.shape[0]
+    # positional ids (object-backed inputs carry no ids)
+    assert np.array_equal(store.ids, np.arange(len(db)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=_dataset())
+def test_save_load_roundtrip_bit_identical(tmp_path_factory, db):
+    store = ColumnarStore.from_trajectories(db)
+    path = tmp_path_factory.mktemp("store") / "s"
+    store.save(path)
+    for mmap in (False, True):
+        loaded = ColumnarStore.load(path, mmap=mmap)
+        _assert_store_matches(loaded, db)
+        assert np.array_equal(loaded.ids, store.ids)
+        assert np.array_equal(loaded.offsets, store.offsets)
+        assert np.array_equal(loaded.points, store.points)
+
+
+def test_mmap_views_are_zero_copy(tmp_path):
+    rng = np.random.default_rng(7)
+    db = [Trajectory(rng.uniform(0, 10, (n, 3)).cumsum(axis=0))
+          for n in (1, 2, 5, 9)]
+    store = ColumnarStore.from_trajectories(db)
+    store.save(tmp_path / "s")
+    loaded = ColumnarStore.load(tmp_path / "s", mmap=True)
+    # np.asarray in the constructor may downcast the memmap subclass to a
+    # plain ndarray *view*; either way the buffer is the mapped file.
+    mapped = loaded.points
+    while mapped.base is not None and not isinstance(mapped, np.memmap):
+        mapped = mapped.base
+    assert isinstance(mapped, np.memmap)
+    for pos in range(len(loaded)):
+        view = loaded.trajectory(pos)
+        # the view's buffer is the mapped file, not a copy
+        assert view.data.base is not None
+        assert not view.data.flags.writeable
+    # in-memory trajectory views alias the points array too
+    t0 = store.trajectory(2)
+    assert t0.data.base is store.points
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=_dataset(min_trajs=2, max_trajs=6))
+def test_edwp_identical_on_store_views(tmp_path_factory, db):
+    """edwp / edwp_many on store-backed views == object-backed, exactly."""
+    path = tmp_path_factory.mktemp("store") / "s"
+    ColumnarStore.from_trajectories(db).save(path)
+    loaded = ColumnarStore.load(path, mmap=True)
+    views = loaded.trajectories()
+    query, qview = db[0], views[0]
+    expected = [edwp(query, t) for t in db]
+    got = [edwp(qview, v) for v in views]
+    assert got == expected  # bit-identical, not approx
+    long_enough = [i for i, t in enumerate(db) if len(t) >= 2]
+    if len(query) >= 2 and long_enough:
+        batch_db = [db[i] for i in long_enough]
+        batch_views = [views[i] for i in long_enough]
+        assert list(edwp_many(qview, batch_views)) == list(
+            edwp_many(query, batch_db)
+        )
+
+
+def test_ids_and_labels_roundtrip(tmp_path):
+    db = [
+        Trajectory([(0, 0, 0), (1, 1, 1)], traj_id=11, label="bus"),
+        Trajectory([(2, 2, 2), (3, 3, 3)], traj_id=7, label=None),
+        Trajectory([(4, 4, 4)], traj_id=42, label="taxi"),
+    ]
+    store = ColumnarStore.from_trajectories(db)
+    assert list(store.ids) == [11, 7, 42]
+    store.save(tmp_path / "s")
+    loaded = ColumnarStore.load(tmp_path / "s")
+    assert list(loaded.ids) == [11, 7, 42]
+    assert loaded.labels == ["bus", None, "taxi"]
+    assert loaded.get(7).label is None
+    assert loaded.get(42).label == "taxi"
+    assert loaded.get(11).traj_id == 11
+    assert 7 in loaded and 5 not in loaded
+    with pytest.raises(KeyError):
+        loaded.get(5)
+
+
+def test_duplicate_ids_fall_back_to_positional():
+    db = [
+        Trajectory([(0, 0, 0)], traj_id=3),
+        Trajectory([(1, 1, 1)], traj_id=3),
+    ]
+    store = ColumnarStore.from_trajectories(db)
+    assert list(store.ids) == [0, 1]
+
+
+# ---------------------------------------------------------------------- #
+# faults: the typed StoreError surface
+# ---------------------------------------------------------------------- #
+
+
+def _valid_store(tmp_path):
+    db = [Trajectory([(0, 0, 0), (1, 1, 1)]), Trajectory([(2, 2, 2)])]
+    path = tmp_path / "s"
+    ColumnarStore.from_trajectories(db).save(path)
+    return path
+
+
+def test_constructor_rejects_bad_offsets():
+    pts = np.zeros((3, 3))
+    with pytest.raises(StoreError, match="offsets\\[0\\]"):
+        ColumnarStore(pts, np.array([1, 3]))
+    with pytest.raises(StoreError, match="non-decreasing"):
+        ColumnarStore(pts, np.array([0, 2, 1, 3]))
+    with pytest.raises(StoreError, match="offsets\\[-1\\]"):
+        ColumnarStore(pts, np.array([0, 2]))
+    with pytest.raises(StoreError, match="unique"):
+        ColumnarStore(pts, np.array([0, 1, 3]), ids=np.array([5, 5]))
+    with pytest.raises(StoreError, match="\\(P, 3\\)"):
+        ColumnarStore(np.zeros((3, 2)), np.array([0, 3]))
+
+
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(StoreError, match="not a store directory"):
+        ColumnarStore.load(tmp_path / "nope")
+
+
+def test_load_missing_array_file(tmp_path):
+    path = _valid_store(tmp_path)
+    (path / "offsets.npy").unlink()
+    with pytest.raises(StoreError, match="offsets.npy.*missing"):
+        ColumnarStore.load(path)
+
+
+def test_load_truncated_array_file(tmp_path):
+    path = _valid_store(tmp_path)
+    raw = (path / "points.npy").read_bytes()
+    (path / "points.npy").write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(StoreError, match="points.npy"):
+        ColumnarStore.load(path)
+
+
+def test_load_rejects_wrong_magic_and_version(tmp_path):
+    path = _valid_store(tmp_path)
+    meta = json.loads((path / "meta.json").read_text())
+    meta["magic"] = "something-else"
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(StoreError, match="not a columnar trajectory store"):
+        ColumnarStore.load(path)
+    meta = json.loads((path / "meta.json").read_text())
+    meta["magic"] = "repro-columnar-store"
+    meta["version"] = "99.0.0"
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(StoreError, match="99.0.0.*repack"):
+        ColumnarStore.load(path)
+
+
+def test_load_rejects_corrupt_meta_json(tmp_path):
+    path = _valid_store(tmp_path)
+    (path / "meta.json").write_text("{not json")
+    with pytest.raises(StoreError, match="not valid JSON"):
+        ColumnarStore.load(path)
+
+
+def test_load_meta_count_mismatch(tmp_path):
+    path = _valid_store(tmp_path)
+    meta = json.loads((path / "meta.json").read_text())
+    meta["trajectories"] = 99
+    meta["labels"] = None
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(StoreError, match="promises 99"):
+        ColumnarStore.load(path)

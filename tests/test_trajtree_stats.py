@@ -7,11 +7,13 @@ exactly one of visited/pruned, bound counters reflect kernel evaluations
 set is backend-independent.
 """
 
+from dataclasses import fields
+
 import numpy as np
 import pytest
 
 from repro.core.edwp import BACKENDS
-from repro.index import TrajTree
+from repro.index import TrajForest, TrajTree
 from repro.index.trajtree import TrajTreeStats
 
 from helpers import random_walk_trajectory
@@ -165,3 +167,58 @@ class TestOtherQueriesAccounting:
         tree.backend = None
         assert per_backend["python"] == per_backend["numpy"]
         assert per_backend["python"].exact_computations >= 4
+
+
+class TestForestAccounting:
+    """Forest stats are the *elementwise sum* of the per-shard counters:
+    each shard's work is counted exactly once, no double counting and
+    nothing dropped in the fan-out (DESIGN.md, "Columnar store and
+    sharded forest")."""
+
+    @pytest.fixture(scope="class")
+    def forest(self, database):
+        return TrajForest(database, num_shards=4, theta=0.8, num_vps=6,
+                          normalized=True, seed=2)
+
+    @pytest.mark.parametrize("kind, param", [
+        ("knn", 5), ("range", None), ("subtrajectory_knn", 3),
+    ])
+    def test_query_stats_are_shardwise_sums(self, forest, query, kind,
+                                            param):
+        if kind == "range":
+            param = forest.knn(query, 6)[-1][1] * 1.01
+        total = TrajTreeStats()
+        per_shard = []
+        for shard in forest.shards:
+            s = TrajTreeStats()
+            if kind == "knn":
+                shard.knn(query, param, stats=s)
+            elif kind == "range":
+                shard.range_query(query, param, stats=s)
+            else:
+                shard.subtrajectory_knn(query, param, stats=s)
+            per_shard.append(s)
+        if kind == "knn":
+            forest.knn(query, param, stats=total)
+        elif kind == "range":
+            forest.range_query(query, param, stats=total)
+        else:
+            forest.subtrajectory_knn(query, param, stats=total)
+        for f in fields(TrajTreeStats):
+            assert getattr(total, f.name) == sum(
+                getattr(s, f.name) for s in per_shard
+            ), f.name
+        assert total.nodes_visited >= forest.num_shards
+
+    def test_build_stats_are_shardwise_sums(self, forest):
+        total = forest.build_stats
+        for f in fields(TrajTreeStats):
+            assert getattr(total, f.name) == sum(
+                getattr(t.build_stats, f.name) for t in forest.shards
+            ), f.name
+
+    def test_query_many_stats_are_shardwise_sums(self, forest, query):
+        (results, stats), = forest.query_many([("knn", query, 5)])
+        direct = TrajTreeStats()
+        assert forest.knn(query, 5, stats=direct) == results
+        assert stats == direct
