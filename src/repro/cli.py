@@ -225,6 +225,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="build and serve an in-memory index over N synthetic "
              "Beijing-taxi trajectories (EDwPavg-normalized)",
     )
+    ps.add_argument(
+        "--on-shard-error", choices=["fail", "skip"], default="fail",
+        help="with --forest: refuse to start on a damaged shard (fail, "
+             "default) or serve degraded over the healthy shards and "
+             "retry the snapshot in the background (skip); see DESIGN.md, "
+             "'Fault model and degraded serving'",
+    )
+    ps.add_argument(
+        "--reload-base", type=float, default=1.0,
+        help="base delay in seconds of the background snapshot reload "
+             "retry when serving degraded (capped exponential backoff)",
+    )
     ps.add_argument("--host", default="127.0.0.1")
     ps.add_argument("--port", type=int, default=8765,
                     help="TCP port (0 binds an ephemeral port)")
@@ -316,18 +328,28 @@ def _run_build_forest(args) -> int:
 def _run_serve(args) -> int:
     """The ``serve`` subcommand (pulled out of :func:`main` for clarity)."""
     import asyncio
+    import signal
 
     from .index.persistence import load_forest, load_tree
-    from .service import QueryService, ServiceClient, ServiceConfig, serve
+    from .service import Backoff, QueryService, ServiceClient, ServiceConfig, serve
 
+    loader = None
     try:
         if args.index is not None:
-            tree = load_tree(args.index)
+            loader = lambda: load_tree(args.index)  # noqa: E731
+            tree = loader()
             origin = f"snapshot {args.index}"
         elif args.forest is not None:
-            tree = load_forest(args.forest)
+            loader = lambda: load_forest(  # noqa: E731
+                args.forest, on_shard_error=args.on_shard_error
+            )
+            tree = loader()
             origin = (f"forest snapshot {args.forest} "
                       f"({tree.num_shards} shards)")
+            if tree.degraded:
+                census = tree.shard_census()
+                origin += (f", DEGRADED: {census['healthy']}/"
+                           f"{census['total']} shards healthy")
     except ValueError as exc:   # snapshot gates, incl. ShardLoadError
         print(f"cannot load index: {exc}", file=sys.stderr)
         return 2
@@ -347,16 +369,28 @@ def _run_serve(args) -> int:
         cache_capacity=args.cache_size,
         default_timeout=args.timeout,
     )
-    service = QueryService(tree, config)
+    service = QueryService(tree, config, loader=loader)
 
     async def run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass    # platform without loop signal handlers
         server = await serve(service, host=args.host, port=args.port)
         host, port = server.sockets[0].getsockname()[:2]
         print(f"serving {origin} ({len(tree)} trajectories) "
-              f"on {host}:{port}")
+              f"on {host}:{port}", flush=True)
         print(f"coalescing window {args.window_ms:g} ms, "
               f"max batch {args.max_batch}, queue bound {args.max_pending}, "
-              f"cache {args.cache_size} entries")
+              f"cache {args.cache_size} entries", flush=True)
+        if service.degraded and loader is not None:
+            print(f"serving degraded; retrying snapshot reload in the "
+                  f"background (base delay {args.reload_base:g}s)",
+                  flush=True)
+            service.start_reload_retry(Backoff(base=args.reload_base))
         try:
             if args.selftest:
                 client = await ServiceClient.connect(host, port)
@@ -364,6 +398,7 @@ def _run_serve(args) -> int:
                     probe = tree.get(tree.ids()[0])
                     results, meta = await client.knn(probe, k=3)
                     stats = await client.stats()
+                    health = await client.health()
                 finally:
                     await client.aclose()
                 print(f"selftest knn: {len(results)} neighbours, "
@@ -373,8 +408,13 @@ def _run_serve(args) -> int:
                       f"{stats['batches']['dispatched']} batches, "
                       f"cache {stats['cache']['hits']}/"
                       f"{stats['cache']['misses']} hit/miss")
+                print(f"selftest health: {health['status']}, "
+                      f"{health['shards']['healthy']}/"
+                      f"{health['shards']['total']} shards")
                 return 0
-            await server.serve_forever()
+            await stop.wait()
+            print("signal received; draining in-flight requests",
+                  flush=True)
             return 0
         finally:
             server.close()
@@ -384,6 +424,7 @@ def _run_serve(args) -> int:
     try:
         return asyncio.run(run())
     except KeyboardInterrupt:
+        # fallback for platforms where the signal handler didn't install
         print("shutting down")
         return 0
 

@@ -24,6 +24,17 @@ The forest conforms to :class:`~repro.index.protocol.QueryIndex`, so
 per-query stats are the *elementwise sum* of the per-shard
 :class:`~repro.index.trajtree.TrajTreeStats` counters (each shard's work
 is counted exactly once — asserted in ``tests/test_trajtree_stats.py``).
+
+Fault tolerance (DESIGN.md, "Fault model and degraded serving"): a
+forest can serve **degraded** — assembled over the healthy shards of a
+partially damaged snapshot (``load_forest(on_shard_error="skip")``), with
+the failures recorded on :attr:`TrajForest.missing_shards` and reported
+by :meth:`TrajForest.shard_census`; every query over a degraded forest is
+exact over the shards it holds (the k-way merge does not care how many
+shards exist).  Parallel builds survive worker-process deaths:
+:meth:`TrajForest.from_store` rebuilds crashed shards serially in-process
+— bit-identical results, since each shard's build seed derives from its
+index, not from which process built it.
 """
 
 from __future__ import annotations
@@ -31,12 +42,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.trajectory import Trajectory
 from ..store import ColumnarStore
+from ..testing import faults
 from .trajtree import TrajTree, TrajTreeStats
 
 __all__ = ["TrajForest", "assign_shards", "SHARD_SCHEMES"]
@@ -85,7 +98,7 @@ def assign_shards(
 
 
 def _build_shard_from_store(
-    store_path: str, positions: List[int], tree_kwargs: dict
+    store_path: str, shard: int, positions: List[int], tree_kwargs: dict
 ) -> TrajTree:
     """Worker-process entry point: mmap the store, build one shard tree.
 
@@ -93,7 +106,13 @@ def _build_shard_from_store(
     shared across processes), materializes only its shard's trajectory
     views, and ships the finished tree back through pickle (store-backed
     views pickle as plain arrays, so the returned tree is self-contained).
+
+    Fault point ``forest.build_shard:<i>`` — an ``exit`` rule here kills
+    this worker mid-build (only in a forked child; see
+    :mod:`repro.testing.faults`), which is how the chaos gate exercises
+    the serial-rebuild recovery of :meth:`TrajForest.from_store`.
     """
+    faults.fire(f"forest.build_shard:{shard}")
     store = ColumnarStore.load(store_path, mmap=True)
     trajs = [store.trajectory(pos) for pos in positions]
     return TrajTree(trajs, **tree_kwargs)
@@ -195,6 +214,16 @@ class TrajForest:
         self.seed = seed
         self.tree_kwargs = dict(tree_kwargs)
         self.normalized = normalized.pop()
+        # Health bookkeeping (DESIGN.md, "Fault model and degraded
+        # serving").  A forest assembled here is healthy; degraded loads
+        # (load_forest(on_shard_error="skip")) overwrite these, recording
+        # the ShardLoadError per damaged shard and the snapshot directory
+        # to retry loading from.  rebuilt_shards lists shards a parallel
+        # from_store had to rebuild serially after a worker crash.
+        self.total_shards = len(shards)
+        self.missing_shards: List[Exception] = []
+        self.snapshot_path: Optional[str] = None
+        self.rebuilt_shards: List[int] = []
         self._shard_of: Dict[int, int] = {}
         for i, tree in enumerate(shards):
             for tid in tree.ids():
@@ -249,28 +278,42 @@ class TrajForest:
         ids = [int(t) for t in store.ids]
         groups = assign_shards(ids, num_shards, scheme)
 
+        def build_serial(i: int) -> TrajTree:
+            return TrajTree(
+                [store.trajectory(pos) for pos in groups[i]],
+                seed=_shard_seed(seed, i),
+                **tree_kwargs,
+            )
+
+        rebuilt: List[int] = []
         if workers is not None and workers > 1 and store_path is not None \
                 and len(groups) > 1:
-            jobs = [
-                (str(store_path), group,
-                 dict(tree_kwargs, seed=_shard_seed(seed, i)))
-                for i, group in enumerate(groups)
-            ]
+            shards: List[Optional[TrajTree]] = [None] * len(groups)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                shards = list(
-                    pool.map(_build_shard_from_store, *zip(*jobs))
-                )
+                futures = {
+                    i: pool.submit(
+                        _build_shard_from_store, str(store_path), i,
+                        group, dict(tree_kwargs, seed=_shard_seed(seed, i)),
+                    )
+                    for i, group in enumerate(groups)
+                }
+                for i, future in futures.items():
+                    try:
+                        shards[i] = future.result()
+                    except BrokenProcessPool:
+                        # A worker died (OOM-killed, segfault, injected
+                        # kill): the pool is unusable, every unfinished
+                        # shard lands here.  Rebuild those serially below
+                        # — bit-identical, the shard seed derives from the
+                        # shard index, not from which process builds it.
+                        rebuilt.append(i)
+            for i in rebuilt:
+                shards[i] = build_serial(i)
         else:
-            shards = [
-                TrajTree(
-                    [store.trajectory(pos) for pos in group],
-                    seed=_shard_seed(seed, i),
-                    **tree_kwargs,
-                )
-                for i, group in enumerate(groups)
-            ]
+            shards = [build_serial(i) for i in range(len(groups))]
         forest = cls.__new__(cls)
         forest._init_from_shards(shards, scheme, seed, dict(tree_kwargs))
+        forest.rebuilt_shards = rebuilt
         return forest
 
     # ------------------------------------------------------------------ #
@@ -280,6 +323,30 @@ class TrajForest:
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the forest serves fewer shards than its snapshot
+        holds (some failed to load; see :meth:`shard_census`)."""
+        return bool(self.missing_shards)
+
+    def shard_census(self) -> Dict[str, object]:
+        """The health report of this forest: total vs healthy shard
+        counts plus one record per missing shard (index, filename, and
+        the error that disqualified it) — the shape the service's
+        ``health`` endpoint and degraded query metadata serve."""
+        return {
+            "total": self.total_shards,
+            "healthy": len(self.shards),
+            "missing": [
+                {
+                    "shard": getattr(err, "shard", -1),
+                    "file": getattr(err, "filename", "?"),
+                    "error": str(err),
+                }
+                for err in self.missing_shards
+            ],
+        }
 
     def __len__(self) -> int:
         return sum(len(tree) for tree in self.shards)

@@ -8,12 +8,23 @@ thereafter.  Two snapshot formats exist:
   (:func:`save_tree` / :func:`load_tree`).  The tree is a plain object
   graph of floats/ints/numpy arrays; pickle round-trips it faithfully.
 * **Forest** — a directory: a ``forest.json`` manifest (magic, format
-  version, shard scheme, per-shard filenames and fingerprints) next to
-  one single-tree pickle per shard (:func:`save_forest` /
-  :func:`load_forest`, the ``ForestSnapshot`` layout of DESIGN.md,
-  "Columnar store and sharded forest").  Shards load independently, so a
-  damaged snapshot fails with a :class:`ShardLoadError` *naming the
-  shard* instead of a bare ``FileNotFoundError``.
+  version, shard scheme, per-shard filenames, fingerprints and sha256
+  checksums) next to one single-tree pickle per shard
+  (:func:`save_forest` / :func:`load_forest`, the ``ForestSnapshot``
+  layout of DESIGN.md, "Columnar store and sharded forest").  Shards load
+  independently, so a damaged snapshot fails with a
+  :class:`ShardLoadError` *naming the shard* instead of a bare
+  ``FileNotFoundError`` — or, with ``on_shard_error="skip"``, loads
+  **degraded** over the healthy shards only (DESIGN.md, "Fault model and
+  degraded serving").
+
+Writes are crash-safe: every file goes through the
+:mod:`repro.store.atomic` temp-sibling/fsync/atomic-rename protocol, the
+forest manifest — which records each shard's checksum — is written last,
+and stale temps from an interrupted save are swept on the next save.  A
+crash at any byte offset therefore leaves either the previous intact
+snapshot or damage the loaders detect as a typed error; never a load that
+silently succeeds with wrong data.
 
 The two formats version-gate each other cleanly: pointing
 :func:`load_tree` at a forest directory (or :func:`load_forest` at a
@@ -33,6 +44,13 @@ import pickle
 from pathlib import Path
 from typing import Union
 
+from ..store.atomic import (
+    IntegrityError,
+    atomic_write_bytes,
+    atomic_write_json,
+    cleanup_stale_temps,
+    verify_checksum,
+)
 from .forest import SHARD_SCHEMES, TrajForest
 from .trajtree import TrajTree
 
@@ -57,9 +75,13 @@ _FORMAT_VERSION = "1.2.0"
 _FOREST_MAGIC = "repro-trajforest"
 #: the ForestSnapshot manifest version; bumped when the manifest schema
 #: or the shard layout changes (shard payloads additionally carry the
-#: single-tree version gate above)
-_FOREST_VERSION = "1.0.0"
+#: single-tree version gate above).  1.1.0: per-shard sha256 checksums +
+#: crash-safe manifest-last write order.
+_FOREST_VERSION = "1.1.0"
 _FOREST_MANIFEST = "forest.json"
+
+#: the ``on_shard_error`` policies of :func:`load_forest`
+ON_SHARD_ERROR = ("fail", "skip")
 
 
 class ShardLoadError(ValueError):
@@ -87,25 +109,33 @@ def _fingerprint(tree: TrajTree) -> dict:
     }
 
 
-def save_tree(tree: TrajTree, path: PathLike) -> None:
-    """Serialize a TrajTree (including its trajectory database) to disk."""
+def save_tree(tree: TrajTree, path: PathLike) -> str:
+    """Serialize a TrajTree (including its trajectory database) to disk.
+
+    Crash-safe (temp sibling + fsync + atomic rename): an interrupted
+    save leaves any previous snapshot at ``path`` intact.  Returns the
+    written payload's ``sha256:<hex>`` checksum — :func:`save_forest`
+    records it in the manifest.
+    """
     payload = {
         "magic": _MAGIC,
         "version": _FORMAT_VERSION,
         "fingerprint": _fingerprint(tree),
         "tree": tree,
     }
-    with open(path, "wb") as f:
-        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    return atomic_write_bytes(
+        path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
 
 
 def load_tree(path: PathLike) -> TrajTree:
     """Load a TrajTree written by :func:`save_tree`.
 
-    Raises ``ValueError`` for files that are not TrajTree snapshots or were
-    written by a different library version (rebuild instead: bounds and
-    defaults may have changed between versions), and for forest snapshot
-    directories (load those with :func:`load_forest`).
+    Raises ``ValueError`` for files that are not TrajTree snapshots,
+    are truncated or corrupt (the unpickle failure is wrapped, not
+    leaked raw), or were written by a different library version (rebuild
+    instead: bounds and defaults may have changed between versions), and
+    for forest snapshot directories (load those with :func:`load_forest`).
     """
     p = Path(path)
     if p.is_dir():
@@ -115,8 +145,15 @@ def load_tree(path: PathLike) -> TrajTree:
                 f"(or serve it with --forest)"
             )
         raise ValueError(f"{p!s} is a directory, not a TrajTree snapshot")
-    with open(path, "rb") as f:
-        payload = pickle.load(f)
+    try:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except (pickle.UnpicklingError, EOFError, AttributeError, IndexError,
+            MemoryError) as exc:
+        raise ValueError(
+            f"{path!s} is truncated or corrupt ({exc}); restore the "
+            f"snapshot or rebuild the index"
+        ) from None
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise ValueError(f"{path!s} is not a TrajTree snapshot")
     if payload.get("version") != _FORMAT_VERSION:
@@ -146,19 +183,24 @@ def save_forest(forest: TrajForest, path: PathLike) -> None:
     layout): ``forest.json`` + one single-tree pickle per shard.
 
     Shards are written through :func:`save_tree`, so each carries its own
-    version gate and fingerprint; the manifest pins the shard count, the
-    assignment scheme, and every shard's fingerprint for a cheap
-    integrity check at load time.
+    version gate and fingerprint — and lands crash-safely; the manifest
+    pins the shard count, the assignment scheme, and every shard's
+    fingerprint *and sha256 checksum*, and is written **last**, so a save
+    that dies mid-way leaves either the previous intact snapshot or a
+    manifest/shard mismatch the loader reports as a typed error.  Stale
+    temp files from an earlier interrupted save are swept first.
     """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
+    cleanup_stale_temps(root)
     shards = []
     for i, tree in enumerate(forest.shards):
         filename = _shard_filename(i)
-        save_tree(tree, root / filename)
+        checksum = save_tree(tree, root / filename)
         shards.append({
             "file": filename,
             "fingerprint": _fingerprint(tree),
+            "sha256": checksum,
         })
     manifest = {
         "magic": _FOREST_MAGIC,
@@ -168,18 +210,68 @@ def save_forest(forest: TrajForest, path: PathLike) -> None:
         "trajectories": len(forest),
         "shards": shards,
     }
-    (root / _FOREST_MANIFEST).write_text(json.dumps(manifest, indent=1))
+    atomic_write_json(root / _FOREST_MANIFEST, manifest, indent=1)
 
 
-def load_forest(path: PathLike) -> TrajForest:
+def _load_shard(root: Path, shard: int, entry: dict,
+                verify: bool) -> TrajTree:
+    """Load + integrity-check one shard, every failure a ShardLoadError."""
+    filename = entry.get("file", _shard_filename(shard))
+    file = root / filename
+    if not file.is_file():
+        raise ShardLoadError(shard, filename, "is missing")
+    if verify and entry.get("sha256"):
+        try:
+            verify_checksum(file, entry["sha256"])
+        except IntegrityError as exc:
+            raise ShardLoadError(shard, filename, str(exc)) from None
+    try:
+        tree = load_tree(file)
+    except (ValueError, OSError, EOFError,
+            pickle.UnpicklingError) as exc:
+        raise ShardLoadError(
+            shard, filename, f"failed to load: {exc}"
+        ) from None
+    if entry.get("fingerprint") is not None \
+            and _fingerprint(tree) != entry["fingerprint"]:
+        raise ShardLoadError(
+            shard, filename, "fingerprint mismatch; file corrupted?"
+        )
+    return tree
+
+
+def load_forest(
+    path: PathLike,
+    on_shard_error: str = "fail",
+    verify: bool = True,
+) -> TrajForest:
     """Load a TrajForest written by :func:`save_forest`.
+
+    Every shard is integrity-checked before it is trusted: file present,
+    sha256 checksum matching the manifest (``verify=False`` skips the
+    hash pass), unpickle clean, version gate and fingerprint matching.
+
+    ``on_shard_error`` decides what a damaged shard means:
+
+    * ``"fail"`` (default) — raise the :class:`ShardLoadError` naming the
+      shard; nothing loads.
+    * ``"skip"`` — load **degraded**: the forest is assembled over the
+      healthy shards only, with the failures recorded on
+      ``forest.missing_shards`` (the ``ShardLoadError`` instances),
+      ``forest.degraded`` true, and ``forest.snapshot_path`` remembering
+      where to retry loading from (the service layer's background reload
+      leans on it).  All shards damaged is still an error — there is no
+      forest to serve.
 
     Raises ``ValueError`` for paths that are not forest snapshots —
     including single-tree pickles (legacy 1.2.0 files and current ones),
-    which get a message pointing at :func:`load_tree` — and
-    :class:`ShardLoadError` naming the shard when a shard file is
-    missing, truncated, or fails its own version/fingerprint gate.
+    which get a message pointing at :func:`load_tree`.
     """
+    if on_shard_error not in ON_SHARD_ERROR:
+        raise ValueError(
+            f"unknown on_shard_error policy {on_shard_error!r}; "
+            f"expected one of {ON_SHARD_ERROR}"
+        )
     root = Path(path)
     if root.is_file():
         # A single-tree pickle (any version, including legacy 1.2.0
@@ -216,29 +308,27 @@ def load_forest(path: PathLike) -> TrajForest:
         raise ValueError(f"{root!s}: forest manifest lists no shards")
 
     trees = []
+    missing = []
     for i, entry in enumerate(entries):
-        filename = entry.get("file", _shard_filename(i))
-        file = root / filename
-        if not file.is_file():
-            raise ShardLoadError(i, filename, "is missing")
         try:
-            tree = load_tree(file)
-        except (ValueError, OSError, EOFError,
-                pickle.UnpicklingError) as exc:
-            raise ShardLoadError(
-                i, filename, f"failed to load: {exc}"
-            ) from None
-        if entry.get("fingerprint") is not None \
-                and _fingerprint(tree) != entry["fingerprint"]:
-            raise ShardLoadError(
-                i, filename, "fingerprint mismatch; file corrupted?"
-            )
-        trees.append(tree)
+            trees.append(_load_shard(root, i, entry, verify))
+        except ShardLoadError as exc:
+            if on_shard_error == "fail":
+                raise
+            missing.append(exc)
+    if not trees:
+        raise ValueError(
+            f"{root!s}: all {len(entries)} shards failed to load "
+            f"(first: {missing[0]}); nothing to serve"
+        )
 
     forest = TrajForest.from_shards(
         trees, scheme=scheme, seed=int(manifest.get("seed", 0))
     )
-    if len(forest) != manifest.get("trajectories"):
+    forest.total_shards = len(entries)
+    forest.missing_shards = missing
+    forest.snapshot_path = str(root)
+    if not missing and len(forest) != manifest.get("trajectories"):
         raise ValueError(
             f"{root!s}: manifest promises {manifest.get('trajectories')} "
             f"trajectories, shards hold {len(forest)}"

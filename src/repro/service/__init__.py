@@ -7,7 +7,11 @@ timeouts and cancellation, bounded-queue backpressure, and a structured
 ``/stats`` endpoint.  DESIGN.md ("Query service") documents the
 coalescing window semantics, the cache key contract, the backpressure
 policy, and the stats schema; ``python -m repro serve`` is the CLI entry
-point.
+point.  DESIGN.md ("Fault model and degraded serving") covers the
+resilience surface: typed ``ServiceConnectionError`` transport failures,
+client retry with full-jitter backoff (:class:`~repro.service.retry.RetryPolicy`),
+the ``health`` / ``reload`` control ops, degraded-forest serving and the
+background reload-retry loop.
 
 Public surface:
 
@@ -37,10 +41,12 @@ from .protocol import (
     QueryResponse,
     RequestTimeout,
     ServiceClosed,
+    ServiceConnectionError,
     ServiceError,
     ServiceOverloaded,
     query_digest,
 )
+from .retry import Backoff, RetryPolicy
 from .server import QueryService, ServiceConfig, serve
 from .stats import ServiceStats
 
@@ -54,9 +60,12 @@ __all__ = [
     "QueryResponse",
     "RequestTimeout",
     "ServiceClosed",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceOverloaded",
     "query_digest",
+    "Backoff",
+    "RetryPolicy",
     "QueryService",
     "ServiceConfig",
     "serve",

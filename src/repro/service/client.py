@@ -3,13 +3,16 @@
 Mirrors the TrajTree query surface over the wire::
 
     from repro.service.client import ServiceClient
+    from repro.service.retry import RetryPolicy
 
     async def main():
-        client = await ServiceClient.connect("127.0.0.1", 8765)
+        client = await ServiceClient.connect("127.0.0.1", 8765,
+                                             retry=RetryPolicy())
         try:
             results, meta = await client.knn(query_traj, k=5)
             print(results, meta["latency_ms"], meta["cache_hit"])
             print(await client.stats())      # the /stats endpoint
+            print(await client.health())     # readiness + shard census
         finally:
             await client.aclose()
 
@@ -18,6 +21,18 @@ Query methods return ``(results, meta)`` with ``results`` the same
 the per-request observability record (DESIGN.md, "Query service").
 Server-side failures re-raise as the typed
 :class:`~repro.service.protocol.ServiceError` subclasses.
+
+**Transport failures are typed too**: a reset connection, a drained
+server, or a truncated response line raises
+:class:`~repro.service.protocol.ServiceConnectionError` — never a raw
+``ConnectionResetError`` or ``IncompleteReadError``.  With a
+:class:`~repro.service.retry.RetryPolicy`, the client transparently
+retries transient failures (connection errors reconnect first; an
+:class:`~repro.service.protocol.ServiceOverloaded` shed keeps the
+connection) with capped exponential backoff and full jitter.  Every
+operation the client offers is an idempotent read or an idempotent
+snapshot swap, so a retried request that the server already served
+cannot corrupt anything.
 """
 
 from __future__ import annotations
@@ -26,18 +41,25 @@ import asyncio
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.trajectory import Trajectory
+from ..testing import faults
 from .protocol import (
     QueryRequest,
-    ServiceError,
+    ServiceConnectionError,
+    ServiceOverloaded,
     decode_response,
     encode_request,
     encode_response,
     error_from_code,
 )
+from .retry import RetryPolicy
 
 __all__ = ["ServiceClient"]
 
 Results = List[Tuple[int, float]]
+
+#: Transport failures the client wraps into ServiceConnectionError.
+_TRANSPORT_ERRORS = (ConnectionError, asyncio.IncompleteReadError,
+                     BrokenPipeError, OSError)
 
 
 class ServiceClient:
@@ -46,25 +68,52 @@ class ServiceClient:
     Requests on one client are sequential (the protocol answers in
     order); open several clients for concurrent load — that is exactly
     the shape the server's coalescing window feeds on.
+
+    Pass ``retry=RetryPolicy(...)`` to make the client survive transient
+    failures on its own; without a policy every transport failure raises
+    :class:`ServiceConnectionError` on the first occurrence.
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
-        self._reader = reader
-        self._writer = writer
+                 writer: asyncio.StreamWriter,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None):
+        self._reader: Optional[asyncio.StreamReader] = reader
+        self._writer: Optional[asyncio.StreamWriter] = writer
+        self._host = host
+        self._port = port
+        self._retry = retry
+        self._rng = retry.rng() if retry is not None else None
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1",
-                      port: int = 8765) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8765,
+                      retry: Optional[RetryPolicy] = None
+                      ) -> "ServiceClient":
+        """Open a connection; with ``retry``, connect attempts follow the
+        same backoff schedule as requests."""
+        client = cls.__new__(cls)
+        ServiceClient.__init__(client, None, None, host=host, port=port,
+                               retry=retry)
+        attempts = retry.attempts if retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                await client._open()
+                return client
+            except ServiceConnectionError:
+                if attempt + 1 >= attempts:
+                    raise
+                await asyncio.sleep(retry.delay(attempt, client._rng))
+        raise AssertionError("unreachable")
 
     async def aclose(self) -> None:
+        if self._writer is None:
+            return
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except ConnectionError:
+        except _TRANSPORT_ERRORS:
             pass
+        self._reader = self._writer = None
 
     # ------------------------------------------------------------------ #
     # operations
@@ -96,10 +145,19 @@ class ServiceClient:
 
     async def stats(self) -> Dict[str, Any]:
         """The service's ``/stats`` payload."""
-        return (await self._roundtrip({"op": "stats"}))["result"]
+        return (await self._control({"op": "stats"}))["result"]
 
     async def ping(self) -> bool:
-        return (await self._roundtrip({"op": "ping"}))["result"] == "pong"
+        return (await self._control({"op": "ping"}))["result"] == "pong"
+
+    async def health(self) -> Dict[str, Any]:
+        """Readiness, degraded state and the shard census (``health`` op)."""
+        return (await self._control({"op": "health"}))["result"]
+
+    async def reload(self) -> Dict[str, Any]:
+        """Ask the service to reload its snapshot and atomically swap it
+        in; returns the new snapshot's summary (``reload`` op)."""
+        return (await self._control({"op": "reload"}))["result"]
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -107,20 +165,77 @@ class ServiceClient:
 
     async def _query(self, request: QueryRequest
                      ) -> Tuple[Results, Dict[str, Any]]:
-        self._writer.write(encode_request(request))
-        obj = await self._read_response()
+        obj = await self._request(encode_request(request))
         results = [(int(tid), float(d)) for tid, d in obj["result"]]
         return results, obj.get("meta", {})
 
-    async def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._writer.write(encode_response(payload))   # same line codec
-        return await self._read_response()
+    async def _control(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return await self._request(encode_response(payload))  # same codec
 
-    async def _read_response(self) -> Dict[str, Any]:
-        await self._writer.drain()
-        line = await self._reader.readline()
+    async def _open(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+
+    async def _teardown(self) -> None:
+        """Drop a connection we no longer trust before reconnecting."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except _TRANSPORT_ERRORS:
+                pass
+        self._reader = self._writer = None
+
+    async def _request(self, data: bytes) -> Dict[str, Any]:
+        """One request line → one response object, with the retry loop.
+
+        Transient failures (connection errors, overload sheds) retry up
+        to the policy's budget with full-jitter backoff; connection
+        failures reconnect first (requires the client to know its
+        ``host``/``port`` — one built from raw streams cannot).
+        """
+        policy = self._retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            try:
+                if self._writer is None:
+                    if self._host is None:
+                        raise ServiceConnectionError(
+                            "connection lost and the client has no "
+                            "host/port to reconnect to"
+                        )
+                    await self._open()
+                return await self._roundtrip(data)
+            except (ServiceConnectionError, ServiceOverloaded) as exc:
+                if not isinstance(exc, ServiceOverloaded):
+                    await self._teardown()
+                if attempt + 1 >= attempts:
+                    raise
+                await asyncio.sleep(policy.delay(attempt, self._rng))
+        raise AssertionError("unreachable")
+
+    async def _roundtrip(self, data: bytes) -> Dict[str, Any]:
+        """Send one line, read one line; wrap every transport failure —
+        including an empty read (server drained the socket) — into
+        :class:`ServiceConnectionError`."""
+        try:
+            faults.fire("client.send")
+            self._writer.write(data)
+            await self._writer.drain()
+            faults.fire("client.recv")
+            line = await self._reader.readline()
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceConnectionError(
+                f"connection to the service failed: {exc!r}"
+            ) from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ServiceConnectionError("server closed the connection")
         obj = decode_response(line)
         if not obj.get("ok"):
             err = obj.get("error") or {}

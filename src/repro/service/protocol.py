@@ -3,8 +3,11 @@
 The service speaks newline-delimited JSON over a plain TCP stream: one
 request object per line in, one response object per line out, in order.
 Three query operations mirror the :class:`~repro.index.trajtree.TrajTree`
-query surface (``knn`` / ``range`` / ``subtrajectory_knn``) plus two
-control operations (``stats`` — the ``/stats`` endpoint — and ``ping``).
+query surface (``knn`` / ``range`` / ``subtrajectory_knn``) plus four
+control operations: ``stats`` (the ``/stats`` endpoint), ``ping``,
+``health`` (readiness + degraded state + shard census) and ``reload``
+(atomically swap in a freshly loaded snapshot — see DESIGN.md, "Fault
+model and degraded serving").
 
 Every query request normalizes into a :class:`QueryRequest`, whose
 :func:`query_digest` is the service-wide identity of the computation:
@@ -36,6 +39,7 @@ __all__ = [
     "RequestTimeout",
     "InvalidRequest",
     "ServiceClosed",
+    "ServiceConnectionError",
     "query_digest",
     "encode_request",
     "decode_request",
@@ -79,10 +83,24 @@ class ServiceClosed(ServiceError):
     code = "closed"
 
 
+class ServiceConnectionError(ServiceError):
+    """The transport to the service failed mid-request: connection reset,
+    server drained the socket, or the response line was truncated.
+
+    Transient from the caller's view — reconnect and retry (queries are
+    idempotent reads); :class:`repro.service.client.ServiceClient` raises
+    this instead of leaking raw ``ConnectionResetError`` /
+    ``IncompleteReadError``, so callers can tell transport blips from
+    fatal request errors, and its retry policy treats it as retryable.
+    """
+
+    code = "connection"
+
+
 _ERRORS = {
     cls.code: cls
     for cls in (ServiceError, ServiceOverloaded, RequestTimeout,
-                InvalidRequest, ServiceClosed)
+                InvalidRequest, ServiceClosed, ServiceConnectionError)
 }
 
 

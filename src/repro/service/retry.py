@@ -1,0 +1,92 @@
+"""Retry and backoff policy of the resilient service client and the
+degraded-snapshot reload loop (DESIGN.md, "Fault model and degraded
+serving").
+
+Two schedules, one module:
+
+* :class:`RetryPolicy` — client-side request retry: **capped exponential
+  backoff with full jitter** (AWS-style: each delay is drawn uniformly
+  from ``[0, min(cap, base * 2**attempt)]``), so a thundering herd of
+  clients retrying a shed or dropped request decorrelates instead of
+  re-stampeding the service on a synchronized schedule.  Seedable for
+  deterministic tests.
+* :class:`Backoff` — server-side reload retry: plain capped exponential
+  backoff (one process probing its own snapshot directory needs no
+  jitter, and determinism keeps the chaos gate reproducible), with
+  :meth:`Backoff.reset` for when an attempt makes progress.
+
+:func:`is_transient` is the shared classification: overload sheds and
+transport failures are worth retrying (the query kinds are idempotent
+reads); invalid requests, timeouts and closed services are not —
+a timeout already *spent* its deadline, retrying it would double it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .protocol import ServiceConnectionError, ServiceOverloaded
+
+__all__ = ["RetryPolicy", "Backoff", "is_transient", "TRANSIENT_ERRORS"]
+
+#: Errors a retry may heal: backpressure sheds, typed transport failures,
+#: and raw OS-level connection errors (hit while *re*-connecting).
+TRANSIENT_ERRORS = (ServiceOverloaded, ServiceConnectionError,
+                    ConnectionError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying this failure can possibly succeed."""
+    return isinstance(exc, TRANSIENT_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client retry tunables: ``attempts`` total tries, full-jitter
+    delays growing from ``base`` and capped at ``cap`` seconds.
+
+    ``seed`` pins the jitter sequence (tests, the chaos gate); ``None``
+    draws from a fresh system-seeded RNG per client.
+    """
+
+    attempts: int = 4
+    base: float = 0.05
+    cap: float = 2.0
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base < 0 or self.cap < 0:
+            raise ValueError("base and cap must be non-negative")
+
+    def rng(self) -> random.Random:
+        """A jitter RNG for one client (seeded iff the policy is)."""
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The full-jitter delay before retry number ``attempt`` (0-based):
+        uniform over ``[0, min(cap, base * 2**attempt)]``."""
+        return rng.uniform(0.0, min(self.cap, self.base * (2 ** attempt)))
+
+
+class Backoff:
+    """Capped exponential backoff: ``base * 2**n`` seconds, ceilinged at
+    ``cap``; :meth:`next_delay` advances, :meth:`reset` starts over."""
+
+    def __init__(self, base: float = 1.0, cap: float = 30.0):
+        if base < 0 or cap < 0:
+            raise ValueError("base and cap must be non-negative")
+        self.base = base
+        self.cap = cap
+        self.attempt = 0
+
+    def next_delay(self) -> float:
+        delay = min(self.cap, self.base * (2 ** self.attempt))
+        self.attempt += 1
+        return delay
+
+    def reset(self) -> None:
+        self.attempt = 0

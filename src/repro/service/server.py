@@ -32,13 +32,23 @@ this against the oracle.  Observability is the stats schema of
 protocol of :mod:`repro.service.protocol`; ``python -m repro serve`` is
 the CLI entry point and :class:`repro.service.client.ServiceClient` the
 matching client.
+
+**Fault tolerance** (DESIGN.md, "Fault model and degraded serving"): the
+service can hold a *degraded* forest (some shards failed to load) and
+keep answering over the healthy shards — every query's meta then carries
+``degraded: true`` plus the missing shard ids, the ``health`` op reports
+the shard census, and :meth:`QueryService.start_reload_retry` runs a
+background loop that periodically re-loads the snapshot with capped
+exponential backoff and atomically swaps it in (via the same
+:meth:`QueryService.set_tree` guard the admin ``reload`` op uses) once
+the reload is strictly healthier than what is being served.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..index.protocol import QueryIndex, ensure_query_index
 from ..index.trajtree import TrajTreeStats
@@ -55,6 +65,7 @@ from .protocol import (
     query_digest,
     request_from_obj,
 )
+from .retry import Backoff
 from .stats import ServiceStats, tree_stats_to_dict
 
 __all__ = ["ServiceConfig", "QueryService", "serve"]
@@ -97,7 +108,8 @@ class QueryService:
     """
 
     def __init__(self, tree: QueryIndex, config: Optional[ServiceConfig] = None,
-                 warm: bool = True):
+                 warm: bool = True,
+                 loader: Optional[Callable[[], QueryIndex]] = None):
         ensure_query_index(tree)
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
@@ -114,6 +126,14 @@ class QueryService:
             on_batch=self.stats.record_batch,
         )
         self._closed = False
+        # fault tolerance: reload a fresh snapshot (admin op + background
+        # retry) through `loader`, a zero-argument callable returning a
+        # new QueryIndex — typically functools.partial(load_forest, path,
+        # on_shard_error="skip").  Runs on an executor thread.
+        self._loader = loader
+        self._reload_lock = asyncio.Lock()
+        self._reload_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Future] = None
 
     # ------------------------------------------------------------------ #
     # index management
@@ -142,6 +162,112 @@ class QueryService:
         self.snapshot_id += 1
         self.cache.clear()
         return self.snapshot_id
+
+    # ------------------------------------------------------------------ #
+    # degraded state, health and reload
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the served index is missing shards (a forest loaded
+        with ``on_shard_error="skip"``); a single tree is never degraded."""
+        return bool(getattr(self._tree, "degraded", False))
+
+    def shard_census(self) -> Dict[str, Any]:
+        """The served index's shard census (``{"total", "healthy",
+        "missing": [...]}``); a single tree counts as one healthy shard."""
+        census = getattr(self._tree, "shard_census", None)
+        if callable(census):
+            return census()
+        return {"total": 1, "healthy": 1, "missing": []}
+
+    def health_dict(self) -> Dict[str, Any]:
+        """The ``health`` op payload: readiness, degraded state and the
+        shard census."""
+        if self._closed:
+            status = "draining"
+        elif self.degraded:
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "ready": not self._closed,
+            "degraded": self.degraded,
+            "snapshot_id": self.snapshot_id,
+            "shards": self.shard_census(),
+            "reloads": self.stats.reloads,
+        }
+
+    async def reload(self) -> Dict[str, Any]:
+        """Re-run the configured loader and atomically swap the result in.
+
+        The swap goes through :meth:`set_tree`, so it inherits the same
+        guarantees as any snapshot swap: the snapshot id bumps (all cached
+        results become unreachable) and in-flight batches finish on
+        whichever tree they started on.  A failed load keeps the current
+        index serving and raises a typed :class:`ServiceError`.
+        """
+        if self._loader is None:
+            raise ServiceError(
+                "no snapshot loader configured; reload is unavailable"
+            )
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            try:
+                tree = await loop.run_in_executor(None, self._loader)
+            except Exception as exc:
+                self.stats.record_error("reload")
+                raise ServiceError(
+                    f"reload failed, keeping the current index: {exc}"
+                ) from exc
+            snapshot = self.set_tree(tree)
+            self.stats.record_reload()
+            return {
+                "snapshot_id": snapshot,
+                "degraded": self.degraded,
+                "shards": self.shard_census(),
+            }
+
+    def start_reload_retry(self, backoff: Optional[Backoff] = None
+                           ) -> asyncio.Task:
+        """Start the background degraded-recovery loop (idempotent).
+
+        While the service is degraded, the loop sleeps the backoff delay,
+        re-runs the loader, and swaps the result in *only* when it is
+        strictly healthier than what is currently served (progress resets
+        the backoff).  The loop ends on its own once the census is whole,
+        and is cancelled by :meth:`aclose`.
+        """
+        if self._loader is None:
+            raise ServiceError(
+                "no snapshot loader configured; reload retry is unavailable"
+            )
+        if self._reload_task is None or self._reload_task.done():
+            self._reload_task = asyncio.get_running_loop().create_task(
+                self._reload_retry_loop(backoff or Backoff())
+            )
+        return self._reload_task
+
+    async def _reload_retry_loop(self, backoff: Backoff) -> None:
+        while self.degraded and not self._closed:
+            await asyncio.sleep(backoff.next_delay())
+            if self._closed:
+                return
+            async with self._reload_lock:
+                healthy_now = self.shard_census()["healthy"]
+                loop = asyncio.get_running_loop()
+                try:
+                    tree = await loop.run_in_executor(None, self._loader)
+                except Exception:
+                    continue          # snapshot still damaged; back off more
+                census = getattr(tree, "shard_census", None)
+                healthy_new = (census()["healthy"] if callable(census)
+                               else 1)
+                if healthy_new > healthy_now:
+                    self.set_tree(tree)
+                    self.stats.record_reload()
+                    backoff.reset()
 
     # ------------------------------------------------------------------ #
     # the dispatch path
@@ -239,7 +365,12 @@ class QueryService:
         computed request (shared verbatim by coalesced duplicates, which
         carry ``computed: false``), all-zero for a cache hit (no tree work
         ran).  Aggregates count each computation exactly once.
+
+        ``degraded`` / ``missing_shards`` flag answers computed over a
+        partial forest: correct over the healthy shards, but possibly
+        missing results that live on the absent ones.
         """
+        census = self.shard_census()
         return {
             "kind": request.kind,
             "param": request.param,
@@ -249,6 +380,8 @@ class QueryService:
             "batch_size": batch_size,
             "distinct_in_batch": distinct,
             "snapshot_id": snapshot,
+            "degraded": self.degraded,
+            "missing_shards": [m["shard"] for m in census["missing"]],
             "tree_stats": dict(tree_stats),
         }
 
@@ -265,6 +398,8 @@ class QueryService:
             "snapshot_id": self.snapshot_id,
             "trajectories": len(self._tree),
             "normalized": self._tree.normalized,
+            "degraded": self.degraded,
+            "shards": self.shard_census(),
         }
         out["config"] = {
             "window": self.config.window,
@@ -277,9 +412,23 @@ class QueryService:
 
     async def aclose(self) -> None:
         """Drain cleanly: refuse new requests, deliver every accepted one
-        (a shutdown mid-batch finishes the batch first)."""
+        (a shutdown mid-batch finishes the batch first).
+
+        Idempotent and safe under concurrent calls: the first caller
+        starts the drain, every caller — including repeats after it
+        finished — awaits the same drain future.
+        """
         self._closed = True
-        await self._batcher.drain()
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            try:
+                await self._reload_task
+            except asyncio.CancelledError:
+                pass
+            self._reload_task = None
+        if self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(self._batcher.drain())
+        await asyncio.shield(self._drain_task)
 
 
 # ---------------------------------------------------------------------- #
@@ -315,6 +464,10 @@ async def _handle_connection(
                     response = {"ok": True, "result": "pong"}
                 elif op == "stats":
                     response = {"ok": True, "result": service.stats_dict()}
+                elif op == "health":
+                    response = {"ok": True, "result": service.health_dict()}
+                elif op == "reload":
+                    response = {"ok": True, "result": await service.reload()}
                 else:
                     answer = await service.submit(request_from_obj(obj))
                     response = {

@@ -63,6 +63,8 @@ class ServiceStats:
     batched_requests: int = 0    # sum of batch sizes over all batches
     distinct_dispatched: int = 0  # singleflighted computations dispatched
     max_batch_size: int = 0
+    reloads: int = 0             # snapshot swaps via reload (admin or
+                                 # background degraded-recovery)
     tree_totals: TrajTreeStats = field(default_factory=TrajTreeStats)
     _latencies_ms: Deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
@@ -94,6 +96,9 @@ class ServiceStats:
 
     def record_error(self, code: str) -> None:
         self.errors[code] = self.errors.get(code, 0) + 1
+
+    def record_reload(self) -> None:
+        self.reloads += 1
 
     def record_batch(self, batch_size: int, distinct: int) -> None:
         self.batches += 1
@@ -135,6 +140,7 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "errors": dict(self.errors),
             "by_kind": dict(self.by_kind),
+            "reloads": self.reloads,
             "batches": {
                 "dispatched": self.batches,
                 "requests": self.batched_requests,

@@ -9,8 +9,33 @@ distance kernel and index in the library consumes them unchanged — see
 DESIGN.md ("Columnar store and sharded forest") for the layout and the
 offsets contract, and ``python -m repro build-store`` for the CLI entry
 point.
+
+All persistence goes through :mod:`repro.store.atomic` — temp-sibling +
+fsync + atomic-rename writes with per-file sha256 checksums recorded in
+``meta.json`` and verified on load, so a torn or corrupted store is
+always a typed :class:`StoreError`, never silently wrong data (DESIGN.md,
+"Fault model and degraded serving").
 """
 
+from .atomic import (
+    IntegrityError,
+    atomic_write_bytes,
+    atomic_write_json,
+    cleanup_stale_temps,
+    sha256_bytes,
+    sha256_file,
+    verify_checksum,
+)
 from .columnar import ColumnarStore, StoreError
 
-__all__ = ["ColumnarStore", "StoreError"]
+__all__ = [
+    "ColumnarStore",
+    "StoreError",
+    "IntegrityError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "cleanup_stale_temps",
+    "sha256_bytes",
+    "sha256_file",
+    "verify_checksum",
+]

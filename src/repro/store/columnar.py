@@ -25,9 +25,17 @@ and every distance is bit-identical
 
 On disk a store is a directory of ``.npy`` files (``points.npy``,
 ``offsets.npy``, ``ids.npy``) next to a ``meta.json`` manifest carrying
-the format version and the labels; :meth:`ColumnarStore.load` memory-maps
-the points by default, so opening a multi-gigabyte dataset costs pages,
-not RAM.
+the format version, the labels, and one sha256 checksum per array file;
+:meth:`ColumnarStore.load` memory-maps the points by default, so opening
+a multi-gigabyte dataset costs pages, not RAM.
+
+Persistence is crash-safe (DESIGN.md, "Fault model and degraded
+serving"): every file is written through the
+:mod:`repro.store.atomic` temp-sibling/fsync/rename protocol and
+``meta.json`` — which names the checksums — is written *last*, so a save
+interrupted at any byte offset leaves either the previous intact store or
+a directory :meth:`ColumnarStore.load` rejects with a typed
+:class:`StoreError`; it never loads silently wrong data.
 """
 
 from __future__ import annotations
@@ -39,6 +47,13 @@ from typing import Iterator, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.trajectory import Trajectory
+from .atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    cleanup_stale_temps,
+    npy_bytes,
+    verify_checksum,
+)
 
 __all__ = ["ColumnarStore", "StoreError"]
 
@@ -46,7 +61,8 @@ PathLike = Union[str, Path]
 
 _MAGIC = "repro-columnar-store"
 #: bumped when the on-disk layout changes (arrays, meta schema)
-_FORMAT_VERSION = "1.0.0"
+#: (1.1.0: per-file sha256 checksums in meta.json, crash-safe writes)
+_FORMAT_VERSION = "1.1.0"
 
 #: the array files a store directory must contain
 _ARRAY_FILES = ("points.npy", "offsets.npy", "ids.npy")
@@ -239,29 +255,56 @@ class ColumnarStore:
 
         ``np.save`` writes float64/int64 verbatim, so a round-trip is
         bit-identical; the directory is created if missing.
+
+        Crash-safe: stale temp files from an earlier interrupted save are
+        swept first, each file goes through the
+        :mod:`repro.store.atomic` write protocol, and ``meta.json`` —
+        recording one sha256 checksum per array file — lands last.  A
+        save that dies at any point leaves either the previous intact
+        store or a directory whose damage :meth:`load` detects as a typed
+        :class:`StoreError` (checksum or manifest mismatch).
         """
         root = Path(path)
         root.mkdir(parents=True, exist_ok=True)
-        np.save(root / "points.npy", np.ascontiguousarray(self.points))
-        np.save(root / "offsets.npy", self.offsets)
-        np.save(root / "ids.npy", self.ids)
+        cleanup_stale_temps(root)
+        checksums = {
+            "points.npy": atomic_write_bytes(
+                root / "points.npy",
+                npy_bytes(np.ascontiguousarray(self.points)),
+            ),
+            "offsets.npy": atomic_write_bytes(
+                root / "offsets.npy", npy_bytes(self.offsets)
+            ),
+            "ids.npy": atomic_write_bytes(
+                root / "ids.npy", npy_bytes(self.ids)
+            ),
+        }
         meta = {
             "magic": _MAGIC,
             "version": _FORMAT_VERSION,
             "trajectories": len(self),
             "points": self.num_points,
             "labels": self.labels,
+            "checksums": checksums,
         }
-        (root / "meta.json").write_text(json.dumps(meta))
+        atomic_write_json(root / "meta.json", meta)
 
     @classmethod
-    def load(cls, path: PathLike, mmap: bool = True) -> "ColumnarStore":
+    def load(cls, path: PathLike, mmap: bool = True,
+             verify: bool = True) -> "ColumnarStore":
         """Load a store written by :meth:`save`.
 
         ``mmap=True`` (default) maps ``points.npy`` read-only
         (``np.load(..., mmap_mode="r")``): trajectory views then read
         straight from the file and the resident cost is pages touched,
         not dataset size.  ``mmap=False`` reads everything into RAM.
+
+        ``verify=True`` (default) checks every array file against the
+        sha256 checksum ``meta.json`` records before trusting it, so a
+        torn or bit-flipped file is a typed error, never wrong floats.
+        The check streams each file once — ``verify=False`` skips it when
+        mmap-opening a huge store whose load-time scan you cannot afford
+        (integrity then rests on the atomic-write protocol alone).
 
         Raises :class:`StoreError` naming the missing/invalid piece for
         anything that is not a complete, compatible store directory.
@@ -283,11 +326,24 @@ class ColumnarStore:
                 f"store was written by format version {meta.get('version')}, "
                 f"this library expects {_FORMAT_VERSION}; repack the store"
             )
+        checksums = meta.get("checksums")
+        if not isinstance(checksums, dict):
+            raise StoreError(
+                f"{meta_path!s} records no file checksums; "
+                f"store incomplete or tampered with"
+            )
         arrays = {}
         for name in _ARRAY_FILES:
             file = root / name
             if not file.is_file():
                 raise StoreError(f"store file {file!s} is missing")
+            if verify:
+                expected = checksums.get(name)
+                if not expected:
+                    raise StoreError(
+                        f"{meta_path!s} records no checksum for {name}"
+                    )
+                verify_checksum(file, expected, error_cls=StoreError)
             try:
                 mode = "r" if (mmap and name == "points.npy") else None
                 arrays[name] = np.load(file, mmap_mode=mode)

@@ -1,0 +1,17 @@
+"""repro.testing — deterministic test harnesses shipped with the library.
+
+Currently one member: :mod:`repro.testing.faults`, the seedable
+fault-injection harness behind the robustness suite and the chaos gate
+(``benchmarks/bench_service_resilience.py``).  It lives in the package —
+not under ``tests/`` — because production modules carry its fault points
+(:func:`repro.testing.faults.fire` calls compiled into
+``repro.store.atomic``, ``repro.index.forest`` and
+``repro.service.client``), so injection works without monkeypatching and
+from any process, including worker processes forked during parallel
+forest builds.  With no plan installed every fault point is a cheap
+no-op.  See DESIGN.md, "Fault model and degraded serving".
+"""
+
+from . import faults
+
+__all__ = ["faults"]

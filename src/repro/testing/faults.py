@@ -1,0 +1,245 @@
+"""Deterministic, seedable fault injection (DESIGN.md, "Fault model and
+degraded serving").
+
+Production code marks its failure-prone operations with *fault points* —
+named :func:`fire` calls, e.g. ``fire("atomic.write:points.npy")`` in the
+crash-safe writer or ``fire("client.send")`` in the service client.  With
+no plan installed a fault point is one global read and a ``None`` check;
+tests and the chaos gate install a :class:`FaultPlan` that maps points
+(exact names or ``fnmatch`` patterns) onto faults:
+
+``error``
+    Raise :class:`FaultInjected` (an ``OSError``) — a failed syscall.
+``crash``
+    Raise :class:`CrashInjected` — the process "dies" here; whatever was
+    written so far stays on disk exactly as a real crash would leave it
+    (the atomic writer deliberately does *not* clean its temp file up on
+    the way out).
+``truncate``
+    Return a :class:`Truncate` directive; the atomic writer honors it by
+    writing exactly ``nbytes`` of the payload and then raising
+    :class:`CrashInjected` — a crash at an arbitrary byte offset.
+``delay``
+    Sleep ``arg`` seconds, then continue.
+``exit``
+    ``os._exit(arg)`` — but **only in a process other than the one that
+    created the plan** (a forked worker): the rule models the environment
+    killing a worker, and must never take the test process down.  In the
+    owning process it is a recorded no-op.
+``drop``
+    Raise ``ConnectionResetError`` — the peer vanished mid-request.
+
+Determinism: rules fire in registration order, each bounded by ``times``
+and offset by ``after``; probabilistic rules draw from the plan's own
+``random.Random(seed)``, so a seeded plan injects the *same* fault
+sequence on every run.  Worker processes inherit the installed plan via
+``fork`` (the start method on Linux), which is how a plan created in a
+test reaches :func:`repro.index.forest._build_shard_from_store`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjected",
+    "CrashInjected",
+    "Truncate",
+    "FaultPlan",
+    "install",
+    "uninstall",
+    "active",
+    "injected",
+    "fire",
+]
+
+#: The fault kinds a rule may inject (module docstring documents each).
+FAULT_KINDS = ("error", "crash", "truncate", "delay", "exit", "drop")
+
+
+class FaultInjected(OSError):
+    """An injected I/O failure — what a failed syscall would raise."""
+
+
+class CrashInjected(RuntimeError):
+    """A simulated process death: the operation stops *here*, mid-state.
+
+    Raised (never caught) by the code under test so the harness can model
+    a crash without actually killing the test process; whatever bytes were
+    flushed before the crash point stay on disk, exactly as after a real
+    crash + restart.
+    """
+
+
+@dataclass(frozen=True)
+class Truncate:
+    """Directive returned by :func:`fire` for ``truncate`` rules: the
+    writer must persist exactly ``nbytes`` of its payload, then crash."""
+
+    nbytes: int
+
+
+@dataclass
+class _Rule:
+    """One armed fault: where, what, and how often."""
+
+    point: str                      # exact name or fnmatch pattern
+    kind: str
+    arg: Optional[float] = None     # bytes / seconds / exit code
+    times: Optional[int] = None     # fire at most this many times
+    after: int = 0                  # skip the first `after` matches
+    probability: float = 1.0
+    matched: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A seeded set of fault rules, installable as the process-wide plan.
+
+    Thread-safe: rule bookkeeping is guarded by one lock, so fault points
+    on executor threads and the event loop see a consistent sequence.
+    ``plan.log`` records every ``(point, kind)`` that fired, for test
+    assertions.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._rules: List[_Rule] = []
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self.log: List[Tuple[str, str]] = []
+
+    def on(
+        self,
+        point: str,
+        kind: str,
+        arg: Optional[float] = None,
+        *,
+        times: Optional[int] = 1,
+        after: int = 0,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Arm one rule; returns ``self`` so plans chain fluently.
+
+        ``times=None`` means unlimited; ``probability < 1`` draws from the
+        plan's seeded RNG per matching call.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self._rules.append(
+            _Rule(point, kind, arg, times=times, after=after,
+                  probability=probability)
+        )
+        return self
+
+    def fired(self, point_pattern: str = "*") -> int:
+        """How many faults matching this point pattern have fired."""
+        with self._lock:
+            return sum(
+                1 for point, _ in self.log
+                if fnmatch.fnmatch(point, point_pattern)
+            )
+
+    # ------------------------------------------------------------------ #
+    # the hot path
+    # ------------------------------------------------------------------ #
+
+    def _select(self, point: str) -> Optional[_Rule]:
+        with self._lock:
+            for rule in self._rules:
+                if not fnmatch.fnmatch(point, rule.point):
+                    continue
+                if rule.times is not None and rule.fired >= rule.times:
+                    continue
+                rule.matched += 1
+                if rule.matched <= rule.after:
+                    continue
+                if rule.probability < 1.0 \
+                        and self._rng.random() >= rule.probability:
+                    continue
+                rule.fired += 1
+                self.log.append((point, rule.kind))
+                return rule
+        return None
+
+    def fire(self, point: str) -> Optional[Truncate]:
+        """Evaluate this fault point; inject whatever rule matches first.
+
+        Raises / sleeps / exits per the rule's kind; returns a
+        :class:`Truncate` directive for ``truncate`` rules (the caller
+        honors it) and ``None`` when nothing fires.
+        """
+        rule = self._select(point)
+        if rule is None:
+            return None
+        kind, arg = rule.kind, rule.arg
+        if kind == "delay":
+            time.sleep(float(arg or 0.0))
+            return None
+        if kind == "error":
+            raise FaultInjected(f"injected I/O error at {point}")
+        if kind == "crash":
+            raise CrashInjected(f"injected crash at {point}")
+        if kind == "truncate":
+            return Truncate(int(arg or 0))
+        if kind == "drop":
+            raise ConnectionResetError(f"injected connection drop at {point}")
+        # kind == "exit": kill *worker* processes only — in the process
+        # that owns the plan (the test / benchmark itself) this is a
+        # recorded no-op, so a serial rebuild after a worker kill succeeds.
+        if os.getpid() != self._owner_pid:
+            os._exit(int(arg) if arg is not None else 17)
+        return None
+
+
+#: The process-wide active plan; ``None`` keeps every fault point a no-op.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan (replacing any other)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection; every fault point is a no-op again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with injected(FaultPlan(seed).on(...)):`` — install for a block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def fire(point: str) -> Optional[Truncate]:
+    """The fault point marker production code calls; no-op when no plan
+    is installed (one global read), otherwise :meth:`FaultPlan.fire`."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(point)

@@ -1,0 +1,260 @@
+"""Crash-safe persistence: atomic writes, checksums, corruption matrix.
+
+The acceptance contract of DESIGN.md ("Fault model and degraded
+serving"): a crash simulated at *any byte offset* during a save never
+yields a load that silently succeeds with wrong data — every outcome is
+either the previous intact version or a typed error (``StoreError``,
+``ShardLoadError``, ``ValueError``).  Plus the on-disk corruption matrix:
+truncated arrays, bit-flipped payloads caught by sha256, missing shard
+files, and stale temp siblings from a crashed save being ignored on load
+and swept on the next save.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.index import TrajForest, TrajTree
+from repro.index.persistence import (
+    ShardLoadError,
+    load_forest,
+    load_tree,
+    save_forest,
+    save_tree,
+)
+from repro.store import ColumnarStore, StoreError
+from repro.store.atomic import (
+    IntegrityError,
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    cleanup_stale_temps,
+    sha256_bytes,
+    sha256_file,
+    verify_checksum,
+)
+from repro.testing.faults import CrashInjected, FaultPlan, injected
+
+from helpers import random_walk_trajectory
+
+
+def make_db(seed, n=16):
+    rng = np.random.default_rng(seed)
+    return [random_walk_trajectory(rng, int(rng.integers(4, 9)))
+            for _ in range(n)]
+
+
+def assert_stores_identical(a: ColumnarStore, b: ColumnarStore):
+    np.testing.assert_array_equal(np.asarray(a.points),
+                                  np.asarray(b.points))
+    np.testing.assert_array_equal(a.offsets, b.offsets)
+    np.testing.assert_array_equal(a.ids, b.ids)
+
+
+class TestAtomicWrite:
+    def test_write_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        checksum = atomic_write_bytes(path, b"first version")
+        assert path.read_bytes() == b"first version"
+        assert checksum == sha256_bytes(b"first version")
+        assert checksum == sha256_file(path)
+
+        # crash at every byte offset of the replacement payload: the
+        # final name must keep the first version, bit for bit
+        payload = b"second version, longer"
+        for nbytes in range(len(payload) + 1):
+            plan = FaultPlan().on(f"atomic.write:{path.name}",
+                                  "truncate", nbytes)
+            with injected(plan):
+                with pytest.raises(CrashInjected):
+                    atomic_write_bytes(path, payload)
+            assert path.read_bytes() == b"first version"
+
+    def test_crash_between_fsync_and_rename(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"old")
+        plan = FaultPlan().on(f"atomic.rename:{path.name}", "crash")
+        with injected(plan):
+            with pytest.raises(CrashInjected):
+                atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"old"
+
+    def test_crash_leaves_temp_sibling_for_next_sweep(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        with injected(FaultPlan().on("atomic.write:blob.bin",
+                                     "truncate", 3)):
+            with pytest.raises(CrashInjected):
+                atomic_write_bytes(path, b"payload")
+        temps = list(tmp_path.glob(f".*{TMP_SUFFIX}"))
+        assert len(temps) == 1
+        assert temps[0].read_bytes() == b"pay"
+        removed = cleanup_stale_temps(tmp_path)
+        assert removed == [temps[0].name]
+        assert not list(tmp_path.glob(f".*{TMP_SUFFIX}"))
+
+    def test_verify_checksum_raises_caller_type(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"data")
+        verify_checksum(path, sha256_bytes(b"data"))
+        with pytest.raises(IntegrityError, match="integrity"):
+            verify_checksum(path, sha256_bytes(b"other"))
+        with pytest.raises(StoreError):
+            verify_checksum(path, sha256_bytes(b"other"),
+                            error_cls=StoreError)
+
+
+class TestStoreCrashSafety:
+    """Crashes during ColumnarStore.save over an existing store."""
+
+    @pytest.mark.parametrize("target", ["points.npy", "offsets.npy",
+                                        "ids.npy", "meta.json"])
+    def test_crash_mid_save_never_loads_wrong(self, tmp_path, target):
+        root = tmp_path / "db.store"
+        old = ColumnarStore.from_trajectories(make_db(1))
+        old.save(root)
+        new = ColumnarStore.from_trajectories(make_db(2))
+
+        for nbytes in (0, 1, 57):
+            with injected(FaultPlan().on(f"atomic.write:{target}",
+                                         "truncate", nbytes)):
+                with pytest.raises(CrashInjected):
+                    new.save(root)
+            # The one legal pair of outcomes: the old store, intact —
+            # or a typed StoreError.  Never a quiet mixed/partial load.
+            try:
+                loaded = ColumnarStore.load(root, mmap=False)
+            except StoreError:
+                continue
+            assert_stores_identical(loaded, old)
+
+    def test_completed_save_overwrites_cleanly(self, tmp_path):
+        root = tmp_path / "db.store"
+        ColumnarStore.from_trajectories(make_db(1)).save(root)
+        new = ColumnarStore.from_trajectories(make_db(2))
+        new.save(root)
+        assert_stores_identical(ColumnarStore.load(root, mmap=False), new)
+
+    def test_stale_temps_ignored_on_load_and_swept_on_save(self, tmp_path):
+        root = tmp_path / "db.store"
+        store = ColumnarStore.from_trajectories(make_db(1))
+        store.save(root)
+        # a crashed save from some other process left temp siblings
+        (root / f".points.npy.99999{TMP_SUFFIX}").write_bytes(b"garbage")
+        (root / f".meta.json.99999{TMP_SUFFIX}").write_bytes(b"{")
+        loaded = ColumnarStore.load(root, mmap=False)
+        assert_stores_identical(loaded, store)
+        store.save(root)      # next save sweeps them
+        assert not list(root.glob(f".*{TMP_SUFFIX}"))
+
+    def test_bit_flip_in_points_caught_by_checksum(self, tmp_path):
+        root = tmp_path / "db.store"
+        ColumnarStore.from_trajectories(make_db(1)).save(root)
+        raw = bytearray((root / "points.npy").read_bytes())
+        raw[len(raw) // 2] ^= 0x40    # flip one bit mid-data
+        (root / "points.npy").write_bytes(bytes(raw))
+        with pytest.raises(StoreError, match="integrity"):
+            ColumnarStore.load(root, mmap=False)
+        # without the checksum pass the flip would load silently — the
+        # hash is what stands between bit rot and wrong answers
+        ColumnarStore.load(root, mmap=False, verify=False)
+
+    def test_missing_checksums_refused(self, tmp_path):
+        root = tmp_path / "db.store"
+        ColumnarStore.from_trajectories(make_db(1)).save(root)
+        meta = json.loads((root / "meta.json").read_text())
+        del meta["checksums"]
+        (root / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(StoreError, match="checksums"):
+            ColumnarStore.load(root, mmap=False)
+
+
+class TestTreeCrashSafety:
+    """Crashes during save_tree over an existing snapshot."""
+
+    def test_crash_mid_save_keeps_old_tree(self, tmp_path):
+        path = tmp_path / "index.pkl"
+        db = make_db(3)
+        old_tree = TrajTree(db[:10], num_vps=4, min_node_size=4, seed=1)
+        save_tree(old_tree, path)
+        new_tree = TrajTree(db, num_vps=4, min_node_size=4, seed=2)
+        payload_len = len(pickle.dumps(
+            {"magic": "x"}, protocol=pickle.HIGHEST_PROTOCOL))
+        for nbytes in (0, 1, payload_len, 4096):
+            with injected(FaultPlan().on("atomic.write:index.pkl",
+                                         "truncate", nbytes)):
+                with pytest.raises(CrashInjected):
+                    save_tree(new_tree, path)
+            loaded = load_tree(path)
+            assert loaded.ids() == old_tree.ids()
+            q = random_walk_trajectory(np.random.default_rng(9), 6)
+            assert loaded.knn(q, 3) == old_tree.knn(q, 3)
+
+    def test_truncated_pickle_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_tree(TrajTree(make_db(3), num_vps=4, seed=1), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_tree(path)
+
+
+class TestForestCrashSafety:
+    @pytest.fixture()
+    def forests(self):
+        db = make_db(4, n=20)
+        old = TrajForest(db[:12], num_shards=3, num_vps=4,
+                         min_node_size=4, seed=1)
+        new = TrajForest(db, num_shards=3, num_vps=4,
+                         min_node_size=4, seed=2)
+        return old, new
+
+    def probe(self):
+        return random_walk_trajectory(np.random.default_rng(8), 6)
+
+    @pytest.mark.parametrize("target", ["shard_0000.pkl", "shard_0002.pkl",
+                                        "forest.json"])
+    def test_crash_mid_save_never_loads_wrong(self, tmp_path, target,
+                                              forests):
+        old, new = forests
+        root = tmp_path / "forest"
+        save_forest(old, root)
+        with injected(FaultPlan().on(f"atomic.write:{target}",
+                                     "truncate", 100)):
+            with pytest.raises(CrashInjected):
+                save_forest(new, root)
+        # manifest-last ordering: either the old manifest still matches
+        # its (old) shards, or the mix is detected as a shard error
+        try:
+            loaded = load_forest(root)
+        except (ShardLoadError, ValueError):
+            return
+        assert loaded.ids() == old.ids()
+        assert loaded.knn(self.probe(), 4) == old.knn(self.probe(), 4)
+
+    def test_bit_flip_in_shard_caught_by_checksum(self, tmp_path, forests):
+        old, _ = forests
+        root = tmp_path / "forest"
+        save_forest(old, root)
+        raw = bytearray((root / "shard_0001.pkl").read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        (root / "shard_0001.pkl").write_bytes(bytes(raw))
+        with pytest.raises(ShardLoadError, match="shard 1.*integrity"):
+            load_forest(root)
+
+    def test_stale_temps_swept_on_next_save(self, tmp_path, forests):
+        old, _ = forests
+        root = tmp_path / "forest"
+        save_forest(old, root)
+        (root / f".shard_0000.pkl.12345{TMP_SUFFIX}").write_bytes(b"junk")
+        loaded = load_forest(root)       # temp sibling is invisible
+        assert loaded.ids() == old.ids()
+        save_forest(old, root)
+        assert not list(root.glob(f".*{TMP_SUFFIX}"))
+
+    def test_save_tree_returns_manifest_checksum(self, tmp_path, forests):
+        old, _ = forests
+        path = tmp_path / "one.pkl"
+        checksum = save_tree(old.shards[0], path)
+        assert checksum.startswith("sha256:")
+        assert checksum == sha256_file(path)

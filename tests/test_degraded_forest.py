@@ -1,0 +1,206 @@
+"""Degraded-mode forest serving and worker-crash build recovery.
+
+``load_forest(on_shard_error="skip")`` assembles a forest over the
+healthy shards of a damaged snapshot; its answers must be bit-identical
+to a forest built from those same shards alone (exact over what it
+holds — the k-way merge does not care how many shards exist), the census
+must name what is missing, and the service layer must flag every answer
+computed over it.  Worker-process deaths during a parallel
+``from_store`` build recover by serial rebuild, bit-identical to an
+undisturbed build.
+"""
+
+import asyncio
+import multiprocessing
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_beijing
+from repro.index import TrajForest
+from repro.index.persistence import load_forest, save_forest
+from repro.service import QueryRequest, QueryService, ServiceConfig
+from repro.store import ColumnarStore
+from repro.testing.faults import FaultPlan, injected
+
+from helpers import random_walk_trajectory
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(21)
+    return [random_walk_trajectory(rng, int(rng.integers(4, 9)))
+            for _ in range(32)]
+
+
+@pytest.fixture(scope="module")
+def forest(db):
+    return TrajForest(db, num_shards=4, num_vps=4, min_node_size=5, seed=3)
+
+
+@pytest.fixture()
+def snapshot(forest, tmp_path):
+    path = tmp_path / "forest"
+    save_forest(forest, path)
+    return path
+
+
+def probes(n=4):
+    rng = np.random.default_rng(77)
+    return [random_walk_trajectory(rng, 7) for _ in range(n)]
+
+
+def damage(path):
+    """Delete shard 1, bit-flip shard 2."""
+    (path / "shard_0001.pkl").unlink()
+    raw = bytearray((path / "shard_0002.pkl").read_bytes())
+    raw[len(raw) // 2] ^= 0x08
+    (path / "shard_0002.pkl").write_bytes(bytes(raw))
+
+
+class TestDegradedLoad:
+    def test_skip_matches_healthy_shards_only_oracle(self, forest,
+                                                     snapshot):
+        damage(snapshot)
+        degraded = load_forest(snapshot, on_shard_error="skip")
+        assert degraded.degraded
+        assert degraded.num_shards == 2
+        assert degraded.total_shards == 4
+        assert degraded.snapshot_path == str(snapshot)
+        # the oracle: a forest of exactly the healthy shards
+        oracle = TrajForest.from_shards(
+            [forest.shards[0], forest.shards[3]],
+            scheme=forest.scheme, seed=forest.seed,
+        )
+        assert degraded.ids() == oracle.ids()
+        for q in probes():
+            assert degraded.knn(q, 5) == oracle.knn(q, 5)
+            assert degraded.subtrajectory_knn(q, 3) == \
+                oracle.subtrajectory_knn(q, 3)
+            radius = oracle.knn(q, 4)[-1][1] * 1.1
+            assert degraded.range_query(q, radius) == \
+                oracle.range_query(q, radius)
+
+    def test_census_names_the_missing_shards(self, snapshot):
+        damage(snapshot)
+        degraded = load_forest(snapshot, on_shard_error="skip")
+        census = degraded.shard_census()
+        assert census["total"] == 4
+        assert census["healthy"] == 2
+        assert [m["shard"] for m in census["missing"]] == [1, 2]
+        assert census["missing"][0]["file"] == "shard_0001.pkl"
+        assert "missing" in census["missing"][0]["error"]
+        assert "integrity" in census["missing"][1]["error"]
+
+    def test_healthy_load_is_not_degraded(self, forest, snapshot):
+        loaded = load_forest(snapshot, on_shard_error="skip")
+        assert not loaded.degraded
+        assert loaded.shard_census() == {"total": 4, "healthy": 4,
+                                         "missing": []}
+        assert loaded.ids() == forest.ids()
+
+    def test_all_shards_damaged_raises(self, snapshot):
+        for i in range(4):
+            (snapshot / f"shard_{i:04d}.pkl").unlink()
+        with pytest.raises(ValueError, match="all 4 shards failed"):
+            load_forest(snapshot, on_shard_error="skip")
+
+    def test_unknown_policy_rejected(self, snapshot):
+        with pytest.raises(ValueError, match="on_shard_error"):
+            load_forest(snapshot, on_shard_error="retry")
+
+    def test_in_memory_forest_is_healthy(self, forest):
+        assert not forest.degraded
+        assert forest.shard_census()["missing"] == []
+        assert forest.rebuilt_shards == []
+
+
+class TestWorkerCrashRecovery:
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="fault plans reach workers via fork inheritance",
+    )
+    def test_killed_worker_rebuilds_serially_bit_identical(self, tmp_path):
+        store_dir = tmp_path / "db.store"
+        trajs = generate_beijing(24, seed=5)
+        ColumnarStore.from_trajectories(trajs).save(store_dir)
+        kwargs = dict(num_shards=4, seed=3, num_vps=4, min_node_size=5)
+        oracle = TrajForest.from_store(store_dir, **kwargs)
+
+        # the environment kills the worker building shard 1 mid-build
+        plan = FaultPlan().on("forest.build_shard:1", "exit", 17)
+        with injected(plan):
+            survived = TrajForest.from_store(store_dir, workers=2,
+                                             **kwargs)
+        assert 1 in survived.rebuilt_shards
+        assert not survived.degraded       # recovered, not degraded
+        assert survived.ids() == oracle.ids()
+        for q in probes(3):
+            assert survived.knn(q, 5) == oracle.knn(q, 5)
+        for mine, ref in zip(survived.shards, oracle.shards):
+            assert mine.ids() == ref.ids()
+            assert mine.storage_summary() == ref.storage_summary()
+
+
+class TestDegradedService:
+    def test_query_meta_flags_degraded(self, snapshot):
+        damage(snapshot)
+        degraded = load_forest(snapshot, on_shard_error="skip")
+
+        async def run():
+            service = QueryService(degraded, ServiceConfig(window=0.0))
+            answer = await service.submit(
+                QueryRequest("knn", probes(1)[0], 3)
+            )
+            health = service.health_dict()
+            await service.aclose()
+            return answer, health
+
+        answer, health = asyncio.run(run())
+        assert answer.meta["degraded"] is True
+        assert answer.meta["missing_shards"] == [1, 2]
+        assert answer.results == degraded.knn(probes(1)[0], 3)
+        assert health["status"] == "degraded"
+        assert health["shards"]["healthy"] == 2
+
+    def test_background_reload_heals_after_repair(self, forest, snapshot,
+                                                  tmp_path):
+        pristine = tmp_path / "pristine"
+        save_forest(forest, pristine)
+        damage(snapshot)
+
+        def loader():
+            return load_forest(snapshot, on_shard_error="skip")
+
+        async def run():
+            from repro.service import Backoff
+
+            service = QueryService(loader(), ServiceConfig(window=0.0),
+                                   loader=loader)
+            assert service.degraded
+            before = service.snapshot_id
+            task = service.start_reload_retry(Backoff(base=0.02, cap=0.05))
+            # a couple of retry rounds against the still-damaged snapshot
+            await asyncio.sleep(0.08)
+            assert service.degraded        # no progress, no swap
+            # the operator restores the snapshot; the loop picks it up
+            for name in ("shard_0001.pkl", "shard_0002.pkl"):
+                shutil.copy2(pristine / name, snapshot / name)
+            for _ in range(200):
+                if not service.degraded:
+                    break
+                await asyncio.sleep(0.02)
+            assert not service.degraded
+            assert service.snapshot_id > before
+            assert service.stats.reloads == 1
+            await asyncio.wait_for(task, timeout=2.0)  # loop ends itself
+            answer = await service.submit(
+                QueryRequest("knn", probes(1)[0], 5)
+            )
+            await service.aclose()
+            return answer
+
+        answer = asyncio.run(run())
+        assert answer.meta["degraded"] is False
+        assert answer.results == forest.knn(probes(1)[0], 5)

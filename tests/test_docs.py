@@ -35,6 +35,7 @@ def test_design_md_keeps_promised_sections():
         "### Batched leaf refinement",
         "## Query service",
         "## Columnar store and sharded forest",
+        "## Fault model and degraded serving",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -62,6 +63,12 @@ def test_design_md_keeps_promised_sections():
                     "(distance, traj_id)", "forest.json", "ShardLoadError",
                     "forest_gate", "elementwise sum"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the fault-model section must keep its sub-contracts
+    for keyword in ("os.replace", "fsync", "sha256", "verify_checksum",
+                    "on_shard_error", "shard_census", "full jitter",
+                    "ServiceConnectionError", "repro.testing.faults",
+                    "resilience_gate"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # in-page anchors that README/docstrings point at must resolve to a
     # heading (GitHub slug rule: lowercase, spaces -> dashes)
     slugs = {
@@ -73,7 +80,8 @@ def test_design_md_keeps_promised_sections():
                    "the-edwpsub-dp-realization", "trajtree-leaf-refinement",
                    "dataset-substitution-table", "index-bound-kernels",
                    "batched-leaf-refinement", "query-service",
-                   "columnar-store-and-sharded-forest"):
+                   "columnar-store-and-sharded-forest",
+                   "fault-model-and-degraded-serving"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -112,5 +120,15 @@ def test_readme_covers_the_promised_ground():
         "ColumnarStore",
         "DESIGN.md#columnar-store-and-sharded-forest",
         "bench_forest_scale.py",
+        # the fault-tolerance ops notes and chaos gate
+        "--on-shard-error",
+        "RetryPolicy",
+        "health",
+        "reload",
+        "ServiceConnectionError",
+        "SIGTERM",
+        "repro.testing.faults",
+        "DESIGN.md#fault-model-and-degraded-serving",
+        "bench_service_resilience.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

@@ -1,0 +1,152 @@
+"""The deterministic fault-injection harness itself (repro.testing.faults).
+
+The harness underpins every crash/corruption test and the resilience
+chaos gate, so its own contract is pinned here: seeded plans inject the
+same fault sequence on every run, rules respect their ``times`` /
+``after`` / ``probability`` bounds in registration order, each kind does
+what the docs say, and ``injected()`` always restores the no-plan state.
+"""
+
+import os
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import (
+    CrashInjected,
+    FaultInjected,
+    FaultPlan,
+    Truncate,
+    injected,
+)
+
+
+class TestPlanLifecycle:
+    def test_no_plan_is_a_noop(self):
+        assert faults.active() is None
+        assert faults.fire("anything.at.all") is None
+
+    def test_injected_installs_and_restores(self):
+        plan = FaultPlan()
+        with injected(plan) as active_plan:
+            assert active_plan is plan
+            assert faults.active() is plan
+        assert faults.active() is None
+
+    def test_injected_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with injected(FaultPlan()):
+                raise RuntimeError("boom")
+        assert faults.active() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan().on("x", "meteor")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan().on("x", "error", probability=1.5)
+
+
+class TestKinds:
+    def test_error_raises_os_error(self):
+        with injected(FaultPlan().on("io.read", "error")):
+            with pytest.raises(FaultInjected) as excinfo:
+                faults.fire("io.read")
+        assert isinstance(excinfo.value, OSError)
+        assert "io.read" in str(excinfo.value)
+
+    def test_crash_raises_crash_injected(self):
+        with injected(FaultPlan().on("save", "crash")):
+            with pytest.raises(CrashInjected):
+                faults.fire("save")
+
+    def test_truncate_returns_directive(self):
+        with injected(FaultPlan().on("write", "truncate", 37)):
+            assert faults.fire("write") == Truncate(37)
+            assert faults.fire("write") is None   # times=1 by default
+
+    def test_drop_raises_connection_reset(self):
+        with injected(FaultPlan().on("client.send", "drop")):
+            with pytest.raises(ConnectionResetError):
+                faults.fire("client.send")
+
+    def test_exit_is_noop_in_owner_process(self):
+        # The rule models the environment killing a *worker*; in the
+        # process that owns the plan it must never fire os._exit — it is
+        # recorded and skipped (or the serial rebuild after a worker kill
+        # would die too).
+        plan = FaultPlan().on("forest.build_shard:1", "exit", 17)
+        assert plan._owner_pid == os.getpid()
+        with injected(plan):
+            assert faults.fire("forest.build_shard:1") is None
+        assert plan.fired("forest.build_shard:*") == 1
+
+
+class TestRuleBounds:
+    def test_times_bounds_firing(self):
+        plan = FaultPlan().on("p", "error", times=2)
+        with injected(plan):
+            for _ in range(2):
+                with pytest.raises(FaultInjected):
+                    faults.fire("p")
+            assert faults.fire("p") is None
+        assert plan.fired("p") == 2
+
+    def test_times_none_is_unlimited(self):
+        plan = FaultPlan().on("p", "truncate", 0, times=None)
+        with injected(plan):
+            for _ in range(10):
+                assert faults.fire("p") == Truncate(0)
+
+    def test_after_skips_leading_matches(self):
+        plan = FaultPlan().on("p", "error", after=2)
+        with injected(plan):
+            assert faults.fire("p") is None
+            assert faults.fire("p") is None
+            with pytest.raises(FaultInjected):
+                faults.fire("p")
+
+    def test_rules_fire_in_registration_order(self):
+        plan = (FaultPlan()
+                .on("p", "truncate", 5)
+                .on("p", "error"))
+        with injected(plan):
+            assert faults.fire("p") == Truncate(5)   # first rule first
+            with pytest.raises(FaultInjected):       # then the second
+                faults.fire("p")
+            assert faults.fire("p") is None          # both exhausted
+        assert plan.log == [("p", "truncate"), ("p", "error")]
+
+    def test_patterns_match_fnmatch(self):
+        plan = FaultPlan().on("atomic.write:*", "error", times=None)
+        with injected(plan):
+            with pytest.raises(FaultInjected):
+                faults.fire("atomic.write:points.npy")
+            with pytest.raises(FaultInjected):
+                faults.fire("atomic.write:meta.json")
+            assert faults.fire("atomic.rename:points.npy") is None
+
+
+class TestDeterminism:
+    def fire_sequence(self, seed, n=200):
+        plan = FaultPlan(seed).on("p", "error", times=None, probability=0.3)
+        fired = []
+        with injected(plan):
+            for _ in range(n):
+                try:
+                    faults.fire("p")
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+        return fired
+
+    def test_same_seed_same_fault_sequence(self):
+        assert self.fire_sequence(11) == self.fire_sequence(11)
+
+    def test_different_seed_different_sequence(self):
+        assert self.fire_sequence(11) != self.fire_sequence(12)
+
+    def test_probability_roughly_honored(self):
+        fired = self.fire_sequence(7, n=1000)
+        assert 0.2 < sum(fired) / len(fired) < 0.4

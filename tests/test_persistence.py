@@ -123,12 +123,16 @@ class TestForestRoundTrip:
         save_forest(forest, path)
         manifest = json.loads((path / "forest.json").read_text())
         assert manifest["magic"] == "repro-trajforest"
-        assert manifest["version"] == "1.0.0"
+        assert manifest["version"] == "1.1.0"
         assert manifest["scheme"] == forest.scheme
         assert manifest["trajectories"] == len(forest)
         assert len(manifest["shards"]) == forest.num_shards
         for i, entry in enumerate(manifest["shards"]):
             assert entry["file"] == f"shard_{i:04d}.pkl"
+            # the manifest records each shard's sha256, and it matches
+            # the bytes on disk (the crash-safety checksum contract)
+            from repro.store import sha256_file
+            assert entry["sha256"] == sha256_file(path / entry["file"])
             shard = load_tree(path / entry["file"])
             assert shard.ids() == forest.shards[i].ids()
 
@@ -207,8 +211,12 @@ class TestForestValidation:
         save_forest(forest, path)
         raw = (path / "shard_0002.pkl").read_bytes()
         (path / "shard_0002.pkl").write_bytes(raw[: len(raw) // 3])
-        with pytest.raises(ShardLoadError, match="shard 2.*failed to load"):
+        # the checksum pass catches the truncation before unpickling
+        with pytest.raises(ShardLoadError, match="shard 2.*integrity"):
             load_forest(path)
+        # with verification off, the pickle loader itself must catch it
+        with pytest.raises(ShardLoadError, match="shard 2.*failed to load"):
+            load_forest(path, verify=False)
 
     def test_shard_fingerprint_mismatch_names_the_shard(self, forest,
                                                         tmp_path):

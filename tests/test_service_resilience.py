@@ -1,0 +1,328 @@
+"""Service resilience: typed transport errors, client retry, health and
+reload control ops, idempotent shutdown, graceful SIGTERM drain.
+
+The client-facing half of the fault model (DESIGN.md, "Fault model and
+degraded serving"): transport failures surface as
+``ServiceConnectionError`` — never raw ``ConnectionResetError`` — and a
+client armed with a ``RetryPolicy`` rides out injected connection drops
+transparently, with full-jitter backoff bounded exactly as documented.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.datasets import generate_beijing
+from repro.index import TrajTree
+from repro.service import (
+    Backoff,
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConfig,
+    ServiceConnectionError,
+    ServiceError,
+    serve,
+)
+from repro.service.retry import is_transient
+from repro.service.protocol import ServiceOverloaded
+from repro.testing.faults import FaultPlan, injected
+
+
+@pytest.fixture(scope="module")
+def tree():
+    db = generate_beijing(16, seed=7)
+    return TrajTree(db, normalized=True, num_vps=4, seed=7,
+                    backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_beijing(6, seed=1009)
+
+
+async def _started(tree, config=None, **service_kwargs):
+    service = QueryService(tree, config or ServiceConfig(), **service_kwargs)
+    server = await serve(service, port=0)
+    port = server.sockets[0].getsockname()[1]
+    return service, server, port
+
+
+async def _stop(service, server):
+    server.close()
+    await server.wait_closed()
+    await service.aclose()
+
+
+class TestTypedConnectionErrors:
+    def test_server_drop_raises_typed_not_raw(self):
+        """A server that hangs up mid-request: the client must raise
+        ServiceConnectionError, never a bare reset/empty-read."""
+        async def run():
+            async def hangup(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            server = await asyncio.start_server(hangup, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await ServiceClient.connect("127.0.0.1", port)
+            with pytest.raises(ServiceConnectionError) as excinfo:
+                await client.ping()
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+            return excinfo.value
+
+        exc = asyncio.run(run())
+        assert isinstance(exc, ServiceError)
+        assert not isinstance(exc, ConnectionResetError)
+        assert exc.code == "connection"
+
+    def test_injected_drop_without_retry_is_typed(self, tree, queries):
+        async def run():
+            service, server, port = await _started(tree)
+            client = await ServiceClient.connect("127.0.0.1", port)
+            with injected(FaultPlan().on("client.send", "drop")):
+                with pytest.raises(ServiceConnectionError):
+                    await client.knn(queries[0], 3)
+            await client.aclose()
+            await _stop(service, server)
+
+        asyncio.run(run())
+
+    def test_connect_refused_is_typed(self):
+        async def run():
+            # grab a port and close it so nothing listens there
+            server = await asyncio.start_server(lambda r, w: None,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(ServiceConnectionError):
+                await ServiceClient.connect("127.0.0.1", port)
+
+        asyncio.run(run())
+
+
+class TestClientRetry:
+    def test_retry_rides_out_injected_drops(self, tree, queries):
+        async def run():
+            service, server, port = await _started(tree)
+            client = await ServiceClient.connect(
+                "127.0.0.1", port,
+                retry=RetryPolicy(attempts=4, base=0.0, cap=0.0, seed=1),
+            )
+            plan = FaultPlan().on("client.send", "drop", times=2)
+            with injected(plan):
+                results, meta = await client.knn(queries[0], 4)
+            fired = plan.fired("client.send")
+            # and a drop mid-receive, after the request went out
+            plan2 = FaultPlan().on("client.recv", "drop", times=1)
+            with injected(plan2):
+                results2, _ = await client.range_query(queries[1], 120.0)
+            await client.aclose()
+            await _stop(service, server)
+            return results, fired, results2
+
+        results, fired, results2 = asyncio.run(run())
+        assert fired == 2
+        assert results == tree.knn(queries[0], 4)
+        assert results2 == tree.range_query(queries[1], 120.0)
+
+    def test_retry_budget_exhausts_typed(self, tree, queries):
+        async def run():
+            service, server, port = await _started(tree)
+            client = await ServiceClient.connect(
+                "127.0.0.1", port,
+                retry=RetryPolicy(attempts=3, base=0.0, cap=0.0, seed=1),
+            )
+            plan = FaultPlan().on("client.send", "drop", times=None)
+            with injected(plan):
+                with pytest.raises(ServiceConnectionError):
+                    await client.knn(queries[0], 3)
+            fired = plan.fired()
+            # the harness uninstalled: the same client heals
+            results, _ = await client.knn(queries[0], 3)
+            await client.aclose()
+            await _stop(service, server)
+            return fired, results
+
+        fired, results = asyncio.run(run())
+        assert fired == 3             # one per attempt, then typed failure
+        assert results == tree.knn(queries[0], 3)
+
+    def test_overload_is_transient_and_keeps_connection(self):
+        assert is_transient(ServiceOverloaded("shed"))
+        assert is_transient(ServiceConnectionError("reset"))
+        assert is_transient(ConnectionResetError())
+        assert not is_transient(ServiceError("fatal"))
+        assert not is_transient(ValueError("nope"))
+
+
+class TestBackoffSchedules:
+    def test_full_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(attempts=8, base=0.05, cap=0.4, seed=13)
+        a, b = policy.rng(), policy.rng()
+        for attempt in range(8):
+            da, db_ = policy.delay(attempt, a), policy.delay(attempt, b)
+            assert da == db_                      # seeded: reproducible
+            assert 0.0 <= da <= min(0.4, 0.05 * (2 ** attempt))
+
+    def test_backoff_caps_and_resets(self):
+        backoff = Backoff(base=0.1, cap=0.4)
+        assert [backoff.next_delay() for _ in range(5)] == \
+            [0.1, 0.2, 0.4, 0.4, 0.4]
+        backoff.reset()
+        assert backoff.next_delay() == 0.1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base=-1.0)
+        with pytest.raises(ValueError):
+            Backoff(base=-0.1)
+
+
+class TestIdempotentClose:
+    def test_aclose_twice_and_concurrently(self, tree, queries):
+        async def run():
+            service = QueryService(tree, ServiceConfig(window=0.05))
+            inflight = [
+                asyncio.ensure_future(service.submit(
+                    QueryRequest("knn", queries[i], 3)
+                ))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            # two concurrent closers plus a late repeat: one drain
+            await asyncio.gather(service.aclose(), service.aclose())
+            await service.aclose()
+            answers = await asyncio.gather(*inflight)
+            return answers
+
+        answers = asyncio.run(run())
+        for i, answer in enumerate(answers):
+            assert answer.results == tree.knn(queries[i], 3)
+
+
+class TestHealthOp:
+    def test_health_over_the_wire(self, tree):
+        async def run():
+            service, server, port = await _started(tree)
+            client = await ServiceClient.connect("127.0.0.1", port)
+            health = await client.health()
+            await client.aclose()
+            await _stop(service, server)
+            return health
+
+        health = asyncio.run(run())
+        assert health["status"] == "ready"
+        assert health["ready"] is True
+        assert health["degraded"] is False
+        # a single tree reports a one-shard census
+        assert health["shards"] == {"total": 1, "healthy": 1,
+                                    "missing": []}
+        assert health["reloads"] == 0
+
+    def test_draining_status(self, tree):
+        async def run():
+            service = QueryService(tree)
+            await service.aclose()
+            return service.health_dict()
+
+        health = asyncio.run(run())
+        assert health["status"] == "draining"
+        assert health["ready"] is False
+
+
+class TestReloadOp:
+    def test_reload_swaps_snapshot_and_answers_match(self, tree, queries):
+        db = generate_beijing(20, seed=8)
+        fresh = TrajTree(db, normalized=True, num_vps=4, seed=8,
+                         backend="numpy")
+
+        async def run():
+            service, server, port = await _started(tree, loader=lambda: fresh)
+            client = await ServiceClient.connect("127.0.0.1", port)
+            before, _ = await client.knn(queries[0], 3)
+            summary = await client.reload()
+            after, meta = await client.knn(queries[0], 3)
+            stats = await client.stats()
+            await client.aclose()
+            await _stop(service, server)
+            return before, summary, after, meta, stats
+
+        before, summary, after, meta, stats = asyncio.run(run())
+        assert before == tree.knn(queries[0], 3)
+        assert summary["snapshot_id"] == 1
+        assert after == fresh.knn(queries[0], 3)
+        assert meta["snapshot_id"] == 1       # cache invalidated with swap
+        assert stats["reloads"] == 1
+
+    def test_reload_without_loader_is_typed(self, tree):
+        async def run():
+            service, server, port = await _started(tree)
+            client = await ServiceClient.connect("127.0.0.1", port)
+            with pytest.raises(ServiceError, match="no snapshot loader"):
+                await client.reload()
+            # the failure poisoned nothing
+            assert await client.ping()
+            await client.aclose()
+            await _stop(service, server)
+
+        asyncio.run(run())
+
+    def test_failed_reload_keeps_current_index(self, tree, queries):
+        def broken_loader():
+            raise OSError("snapshot directory unreadable")
+
+        async def run():
+            service = QueryService(tree, loader=broken_loader)
+            with pytest.raises(ServiceError,
+                               match="keeping the current index"):
+                await service.reload()
+            answer = await service.submit(
+                QueryRequest("knn", queries[0], 3)
+            )
+            await service.aclose()
+            return answer, service.snapshot_id
+
+        answer, snapshot = asyncio.run(run())
+        assert answer.results == tree.knn(queries[0], 3)
+        assert snapshot == 0                  # no swap happened
+
+
+class TestGracefulSigterm:
+    @pytest.mark.skipif(sys.platform == "win32",
+                        reason="POSIX signals only")
+    def test_sigterm_drains_and_exits_zero(self):
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--synthetic", "8",
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))),
+        )
+        try:
+            # wait for the listening banner, then deliver SIGTERM
+            deadline = time.time() + 60
+            for line in proc.stdout:
+                if line.startswith("serving "):
+                    break
+                assert time.time() < deadline, "server never came up"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "draining" in out
