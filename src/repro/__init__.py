@@ -25,10 +25,14 @@ The package provides:
   harnesses regenerating every table and figure (see the benchmark matrix
   in README.md).
 
-Every distance runs on one of two interchangeable backends — the
-pure-Python reference DPs or the vectorized numpy kernels
-(``set_backend("numpy")``); DESIGN.md documents the contract between
-them ("Dual-backend EDwP kernels" and "Baseline kernels").
+Every distance runs on one of up to three interchangeable backends — the
+pure-Python reference DPs, the vectorized numpy kernels
+(``set_backend("numpy")``), and the optional numba-compiled native tier
+(``set_backend("native")``, ``pip install .[native]``); DESIGN.md
+documents the contract between them ("Dual-backend EDwP kernels",
+"Baseline kernels" and "Native kernel tier").  numba is never imported
+eagerly: without it the package works unchanged and ``"native"`` raises
+a typed :class:`~repro.core.edwp.NativeBackendUnavailableError`.
 
 Quickstart::
 
@@ -45,11 +49,17 @@ Quickstart::
 """
 
 from .core import (
+    BACKENDS,
+    KNOWN_BACKENDS,
+    BackendError,
     EditOp,
     EdwpResult,
+    NativeBackendUnavailableError,
     STPoint,
     Segment,
     Trajectory,
+    UnknownBackendError,
+    available_backends,
     edwp,
     edwp_alignment,
     edwp_avg,
@@ -78,6 +88,12 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "BACKENDS",
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "BackendError",
+    "UnknownBackendError",
+    "NativeBackendUnavailableError",
     "edwp_sub",
     "edwp_sub_alignment",
     "prefix_dist",

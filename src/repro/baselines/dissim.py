@@ -60,7 +60,9 @@ def dissim(t1: Trajectory, t2: Trajectory, refine: int = 1,
         p2 = t2.point_at_time(start)
         return point_distance(p1.xy, p2.xy)
 
-    if resolve_backend(backend) == "numpy":
+    if resolve_backend(backend) in ("numpy", "native"):
+        # already vectorized; the native tier compiles only the DP kernels,
+        # so "native" routes through the numpy implementation here
         return fast.dissim_numpy(t1, t2, refine)
 
     breaks = np.union1d(t1.times(), t2.times())

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+from .. import _native
 from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
@@ -46,8 +47,11 @@ def dtw(t1: Trajectory, t2: Trajectory, window: int = 0,
         return 0.0
     if n == 0 or m == 0:
         return math.inf
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         return fast.dtw_numpy(t1, t2, window)
+    if resolved == "native":
+        return _native.load().dtw_native(t1, t2, window)
 
     p1 = [(row[0], row[1]) for row in t1.data]
     p2 = [(row[0], row[1]) for row in t2.data]
@@ -86,5 +90,7 @@ def dtw_many(query: Trajectory, trajectories: Sequence[Trajectory],
     trajectories = list(trajectories)
     if resolved == "numpy" and len(query) > 0 and trajectories:
         return fast.dtw_many_numpy(query, trajectories, window)
+    if resolved == "native" and len(query) > 0 and trajectories:
+        return _native.load().dtw_many_native(query, trajectories, window)
     return [dtw(query, t, window=window, backend=resolved)
             for t in trajectories]

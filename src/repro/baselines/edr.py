@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import _native
 from ..core.edwp import resolve_backend
 from ..core.trajectory import Trajectory
 from . import fast
@@ -44,8 +45,11 @@ def edr(t1: Trajectory, t2: Trajectory, eps: float,
         return m
     if m == 0:
         return n
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         return fast.edr_numpy(t1, t2, eps)
+    if resolved == "native":
+        return _native.load().edr_native(t1, t2, eps)
     d1 = t1.data
     d2 = t2.data
     prev: List[int] = list(range(m + 1))
@@ -83,6 +87,8 @@ def edr_many(query: Trajectory, trajectories: Sequence[Trajectory],
     trajectories = list(trajectories)
     if resolved == "numpy" and len(query) > 0 and trajectories:
         return fast.edr_many_numpy(query, trajectories, eps)
+    if resolved == "native" and len(query) > 0 and trajectories:
+        return _native.load().edr_many_native(query, trajectories, eps)
     return [edr(query, t, eps, backend=resolved) for t in trajectories]
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from .. import _native
 from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
@@ -42,8 +43,12 @@ def erp(
     g: Tuple[float, float] = (0.0, 0.0) if gap is None else (gap[0], gap[1])
     if n == 0 and m == 0:
         return 0.0
-    if n > 0 and m > 0 and resolve_backend(backend) == "numpy":
-        return fast.erp_numpy(t1, t2, g)
+    if n > 0 and m > 0:
+        resolved = resolve_backend(backend)
+        if resolved == "numpy":
+            return fast.erp_numpy(t1, t2, g)
+        if resolved == "native":
+            return _native.load().erp_native(t1, t2, g)
 
     p1 = [(row[0], row[1]) for row in t1.data]
     p2 = [(row[0], row[1]) for row in t2.data]
@@ -87,4 +92,6 @@ def erp_many(query: Trajectory, trajectories: Sequence[Trajectory],
     g: Tuple[float, float] = (0.0, 0.0) if gap is None else (gap[0], gap[1])
     if resolved == "numpy" and len(query) > 0 and trajectories:
         return fast.erp_many_numpy(query, trajectories, g)
+    if resolved == "native" and len(query) > 0 and trajectories:
+        return _native.load().erp_many_native(query, trajectories, g)
     return [erp(query, t, gap=gap, backend=resolved) for t in trajectories]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+from .. import _native
 from ..core.edwp import resolve_backend
 from ..core.geometry import point_distance
 from ..core.trajectory import Trajectory
@@ -42,8 +43,11 @@ def discrete_frechet(t1: Trajectory, t2: Trajectory,
         return 0.0
     if n == 0 or m == 0:
         return math.inf
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         return fast.frechet_numpy(t1, t2)
+    if resolved == "native":
+        return _native.load().frechet_native(t1, t2)
 
     p1 = [(row[0], row[1]) for row in t1.data]
     p2 = [(row[0], row[1]) for row in t2.data]
@@ -80,5 +84,7 @@ def frechet_many(query: Trajectory, trajectories: Sequence[Trajectory],
     trajectories = list(trajectories)
     if resolved == "numpy" and len(query) > 0 and trajectories:
         return fast.frechet_many_numpy(query, trajectories)
+    if resolved == "native" and len(query) > 0 and trajectories:
+        return _native.load().frechet_many_native(query, trajectories)
     return [discrete_frechet(query, t, backend=resolved)
             for t in trajectories]

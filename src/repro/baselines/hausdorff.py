@@ -53,7 +53,9 @@ def directed_hausdorff(t1: Trajectory, t2: Trajectory,
     """
     if len(t1) == 0 or len(t2) == 0:
         return math.inf if len(t1) != len(t2) else 0.0
-    if resolve_backend(backend) == "numpy":
+    if resolve_backend(backend) in ("numpy", "native"):
+        # already vectorized; the native tier compiles only the DP kernels,
+        # so "native" routes through the numpy implementation here
         return fast.directed_hausdorff_numpy(t1, t2)
     pts2 = t2.spatial()
     best = 0.0

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import _native
 from ..core.edwp import resolve_backend
 from ..core.trajectory import Trajectory
 from . import fast
@@ -40,8 +41,12 @@ def lcss_length(t1: Trajectory, t2: Trajectory, eps: float,
     n, m = len(t1), len(t2)
     if n == 0 or m == 0:
         return 0
-    if delta == 0 and resolve_backend(backend) == "numpy":
-        return fast.lcss_length_numpy(t1, t2, eps)
+    if delta == 0:
+        resolved = resolve_backend(backend)
+        if resolved == "numpy":
+            return fast.lcss_length_numpy(t1, t2, eps)
+        if resolved == "native":
+            return _native.load().lcss_length_native(t1, t2, eps)
     d1 = t1.data
     d2 = t2.data
     prev: List[int] = [0] * (m + 1)
@@ -96,8 +101,13 @@ def lcss_distance_many(query: Trajectory, trajectories: Sequence[Trajectory],
     resolved = resolve_backend(backend)
     trajectories = list(trajectories)
     n = len(query)
-    if resolved == "numpy" and n > 0 and trajectories:
-        lengths = fast.lcss_length_many_numpy(query, trajectories, eps)
+    if resolved in ("numpy", "native") and n > 0 and trajectories:
+        if resolved == "numpy":
+            lengths = fast.lcss_length_many_numpy(query, trajectories, eps)
+        else:
+            lengths = _native.load().lcss_length_many_native(
+                query, trajectories, eps
+            )
         out = []
         for length, t in zip(lengths, trajectories):
             m = len(t)

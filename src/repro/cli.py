@@ -57,7 +57,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import set_backend
+from .core import BackendError, set_backend
 from .eval.timing import format_series_table
 from .experiments import (
     PAPER_PROTOCOL_FIGURES,
@@ -88,10 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     "paper (ICDE 2015) at laptop scale.",
     )
     parser.add_argument(
-        "--backend", choices=["python", "numpy"], default=None,
+        "--backend", choices=["python", "numpy", "native"], default=None,
         help="distance backend for every metric (EDwP and all baseline "
-             "comparators): the pure-Python reference DPs (default) or the "
-             "vectorized numpy kernels (same results, faster sweeps)",
+             "comparators): the pure-Python reference DPs (default), the "
+             "vectorized numpy kernels, or the numba-compiled native tier "
+             "(requires the optional numba dependency; same results, "
+             "faster sweeps)",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -433,7 +435,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.backend is not None:
-        set_backend(args.backend)
+        try:
+            set_backend(args.backend)
+        except BackendError as exc:
+            # e.g. --backend native without numba installed: argparse
+            # accepts the name, selection rejects it with the typed error
+            print(str(exc), file=sys.stderr)
+            return 2
     name = args.experiment
 
     if name == "serve":

@@ -12,15 +12,21 @@ Public surface:
   — the sub-trajectory distance of Sec. IV-B (Eq. 5-6).
 * :func:`~repro.core.edwp.set_backend` / :func:`~repro.core.edwp.get_backend`
   / :func:`~repro.core.edwp.use_backend` — switch between the pure-Python
-  reference DP and the vectorized numpy kernel
-  (:mod:`repro.core.edwp_fast`); see DESIGN.md, "Dual-backend EDwP kernels".
+  reference DP, the vectorized numpy kernel (:mod:`repro.core.edwp_fast`)
+  and the optional numba-compiled native tier (:mod:`repro._native`); see
+  DESIGN.md, "Dual-backend EDwP kernels" and "Native kernel tier".
 """
 
 from .trajectory import STPoint, Segment, Trajectory
 from .edwp import (
     BACKENDS,
+    KNOWN_BACKENDS,
+    BackendError,
     EditOp,
     EdwpResult,
+    NativeBackendUnavailableError,
+    UnknownBackendError,
+    available_backends,
     edwp,
     edwp_alignment,
     edwp_avg,
@@ -41,6 +47,11 @@ __all__ = [
     "edwp_avg",
     "edwp_many",
     "BACKENDS",
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "BackendError",
+    "UnknownBackendError",
+    "NativeBackendUnavailableError",
     "get_backend",
     "set_backend",
     "use_backend",

@@ -46,6 +46,11 @@ EDwP kernels"):
     swept anti-diagonally over preallocated coordinate arrays, with a
     lockstep batched mode that computes one query against many targets at
     once.  Matches the reference to float tolerance.
+``"native"``
+    The numba-compiled scalar kernels in :mod:`repro._native` — the same
+    DP as machine code, selectable only when the optional numba dependency
+    is installed (DESIGN.md, "Native kernel tier").  Matches the reference
+    to float tolerance.
 
 The active backend is selected globally with :func:`set_backend` (or
 temporarily with :func:`use_backend`), and every distance entry point also
@@ -67,6 +72,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from . import edwp_fast
+from .. import _native
 from .geometry import Point, point_distance, project_point_on_segment
 from .trajectory import Trajectory
 
@@ -83,12 +89,74 @@ __all__ = [
     "set_backend",
     "use_backend",
     "resolve_backend",
+    "available_backends",
     "BACKENDS",
+    "KNOWN_BACKENDS",
+    "BackendError",
+    "UnknownBackendError",
+    "NativeBackendUnavailableError",
 ]
 
-#: The selectable DP realizations: the pure-Python reference and the
-#: vectorized numpy kernel (see module docstring).
-BACKENDS = ("python", "numpy")
+#: Every backend name this package knows of, installed or not.  Selection
+#: distinguishes a typo (:class:`UnknownBackendError`) from a missing
+#: optional dependency (:class:`NativeBackendUnavailableError`).
+KNOWN_BACKENDS = ("python", "numpy", "native")
+
+
+def available_backends() -> tuple:
+    """The backend names selectable *right now*: the pure-Python reference
+    and the vectorized numpy kernels always, plus the compiled ``"native"``
+    tier when numba is installed (``pip install .[native]``)."""
+    if _native.numba_available():
+        return ("python", "numpy", "native")
+    return ("python", "numpy")
+
+
+#: The selectable DP realizations, snapshotted at import time: the
+#: pure-Python reference, the vectorized numpy kernel, and — when numba is
+#: installed — the compiled native tier (see module docstring).  Harness
+#: loops iterating ``BACKENDS`` therefore automatically cover the native
+#: tier on machines that have it.
+BACKENDS = available_backends()
+
+
+class BackendError(ValueError):
+    """A backend name could not be selected.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError``
+    call sites (and tests matching on the message) keep working.
+    """
+
+
+class UnknownBackendError(BackendError):
+    """The requested backend name is not one this package knows of."""
+
+    def __init__(self, name: object):
+        self.backend = name
+        super().__init__(
+            f"unknown backend {name!r}; choose from {available_backends()}"
+        )
+
+
+class NativeBackendUnavailableError(BackendError):
+    """``"native"`` was requested but numba is not installed."""
+
+    def __init__(self):
+        self.backend = "native"
+        super().__init__(
+            'backend "native" requires numba, which is not installed '
+            "(pip install .[native]); available backends: "
+            f"{available_backends()}"
+        )
+
+
+def _check_backend(name: str) -> None:
+    """Validate a backend name at selection time, with typed errors."""
+    if name not in KNOWN_BACKENDS:
+        raise UnknownBackendError(name)
+    if name == "native" and not _native.numba_available():
+        raise NativeBackendUnavailableError()
+
 
 _active_backend = "python"
 
@@ -105,10 +173,13 @@ def set_backend(name: str) -> str:
     the EDwP family, every baseline comparator in
     :mod:`repro.baselines`, the distance registry, the batched matrix
     engine, TrajTree queries and the CLI.
+
+    Raises :class:`UnknownBackendError` for a name this package does not
+    know, and :class:`NativeBackendUnavailableError` when ``"native"`` is
+    requested without numba installed (both ``ValueError`` subclasses).
     """
     global _active_backend
-    if name not in BACKENDS:
-        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    _check_backend(name)
     previous = _active_backend
     _active_backend = name
     return previous
@@ -127,17 +198,14 @@ def use_backend(name: str) -> Iterator[None]:
 def resolve_backend(backend: Optional[str]) -> str:
     """Resolve a per-call ``backend=`` override against the global choice.
 
-    ``None`` means "follow :func:`set_backend`"; anything else must be one
-    of :data:`BACKENDS`.  Shared by every dual-backend distance — the EDwP
-    family here and the baseline comparators in
-    :mod:`repro.baselines` — so one switch governs them all.
+    ``None`` means "follow :func:`set_backend`"; anything else must be a
+    selectable backend (same typed errors as :func:`set_backend`).  Shared
+    by every dual-backend distance — the EDwP family here and the baseline
+    comparators in :mod:`repro.baselines` — so one switch governs them all.
     """
     if backend is None:
         return _active_backend
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; choose from {BACKENDS}"
-        )
+    _check_backend(backend)
     return backend
 
 
@@ -371,8 +439,11 @@ def edwp(t1: Trajectory, t2: Trajectory, backend: Optional[str] = None) -> float
     trivial = _trivial_distance(t1.num_segments, t2.num_segments)
     if trivial is not None:
         return trivial
-    if _resolve_backend(backend) == "numpy":
+    resolved = _resolve_backend(backend)
+    if resolved == "numpy":
         return edwp_fast.edwp_numpy(t1, t2)
+    if resolved == "native":
+        return _native.load().edwp_native(t1, t2)
     p1 = _spatial_points(t1)
     p2 = _spatial_points(t2)
     cost, _, _ = _edwp_dp(p1, p2, keep_parents=False)
@@ -439,6 +510,8 @@ def edwp_many(
 
     if resolved == "numpy" and query.num_segments > 0 and trajectories:
         raw = edwp_fast.edwp_many_numpy(query, trajectories)
+    elif resolved == "native" and query.num_segments > 0 and trajectories:
+        raw = _native.load().edwp_many_native(query, trajectories)
     else:
         raw = [edwp(query, t, backend=resolved) for t in trajectories]
     if not normalized:

@@ -20,6 +20,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from . import edwp_fast
+from .. import _native
 from .edwp import EdwpResult, _backtrack, _edwp_dp, _resolve_backend, _spatial_points
 from .trajectory import Trajectory
 
@@ -61,8 +62,11 @@ def edwp_sub(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> flo
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
-    if _resolve_backend(backend) == "numpy":
+    resolved = _resolve_backend(backend)
+    if resolved == "numpy":
         return edwp_fast.edwp_sub_numpy(t, s)
+    if resolved == "native":
+        return _native.load().edwp_sub_native(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     free, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=True)
@@ -92,6 +96,8 @@ def edwp_sub_many(
         return [0.0] * len(trajectories)
     if resolved == "numpy" and trajectories:
         return edwp_fast.edwp_sub_many_numpy(t, trajectories)
+    if resolved == "native" and trajectories:
+        return _native.load().edwp_sub_many_native(t, trajectories)
     return [edwp_sub(t, s, backend=resolved) for s in trajectories]
 
 
@@ -106,8 +112,11 @@ def edwp_sub_fast(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
-    if _resolve_backend(backend) == "numpy":
+    resolved = _resolve_backend(backend)
+    if resolved == "numpy":
         return edwp_fast.edwp_sub_fast_numpy(t, s)
+    if resolved == "native":
+        return _native.load().edwp_sub_fast_native(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     free, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=True)
@@ -135,6 +144,8 @@ def edwp_sub_fast_queries(
         return [_sub_trivial(q.num_segments, 0) for q in queries]
     if resolved == "numpy" and queries:
         return edwp_fast.edwp_sub_fast_queries_numpy(queries, s)
+    if resolved == "native" and queries:
+        return _native.load().edwp_sub_fast_queries_native(queries, s)
     return [edwp_sub_fast(q, s, backend=resolved) for q in queries]
 
 
@@ -144,8 +155,11 @@ def prefix_dist(t: Trajectory, s: Trajectory, backend: Optional[str] = None) -> 
     trivial = _sub_trivial(t.num_segments, s.num_segments)
     if trivial is not None:
         return trivial
-    if _resolve_backend(backend) == "numpy":
+    resolved = _resolve_backend(backend)
+    if resolved == "numpy":
         return edwp_fast.prefix_dist_numpy(t, s)
+    if resolved == "native":
+        return _native.load().prefix_dist_native(t, s)
     p1 = _spatial_points(t)
     p2 = _spatial_points(s)
     cost, _, _ = _edwp_dp(p1, p2, keep_parents=False, free_start_row=False)

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import _native
 from ..core.edwp import _spatial_points, resolve_backend
 from ..core.geometry import Point, point_distance
 from ..core.trajectory import Trajectory
@@ -439,8 +440,13 @@ def edwp_sub_box(
     """
     if traj.num_segments == 0:
         return 0.0
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         return fast_bounds.edwp_sub_box_numpy(
+            traj, seq.geometry(), thorough=thorough
+        )
+    if resolved == "native":
+        return _native.load().edwp_sub_box_native(
             traj, seq.geometry(), thorough=thorough
         )
     pts = _spatial_points(traj)
@@ -472,8 +478,13 @@ def edwp_sub_box_many(
     seqs = list(seqs)
     if traj.num_segments == 0:
         return [0.0] * len(seqs)
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         return fast_bounds.edwp_sub_box_many_numpy(
+            traj, [seq.geometry() for seq in seqs], thorough=thorough
+        )
+    if resolved == "native":
+        return _native.load().edwp_sub_box_many_native(
             traj, [seq.geometry() for seq in seqs], thorough=thorough
         )
     return [

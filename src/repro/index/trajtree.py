@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.edwp import _normalize, edwp, edwp_many
+from ..core.edwp import _normalize, edwp, edwp_many, resolve_backend
 from ..core.edwp_sub import (
     edwp_sub,
     edwp_sub_fast,
@@ -182,7 +182,9 @@ class TrajTree:
         paper's literal behaviour.
     backend:
         EDwP backend for exact distances and build-time pivot selection
-        (``"python"`` / ``"numpy"``); ``None`` (default) follows the global
+        (``"python"`` / ``"numpy"`` / ``"native"`` when numba is
+        installed — validated here, so a bad name fails at construction
+        rather than at first query); ``None`` (default) follows the global
         :func:`repro.core.set_backend` choice.  Leaf refinement and the
         scan oracles batch their exact distances through
         :func:`repro.core.edwp_many`, so the numpy backend's lockstep
@@ -223,6 +225,8 @@ class TrajTree:
         self.max_branching = max_branching
         self.vp_levels = vp_levels
         self.use_quick_bound = use_quick_bound
+        if backend is not None:
+            resolve_backend(backend)    # typed error at selection time
         self.backend = backend
         self.seed = seed
         self.rebuild_ratio = rebuild_ratio

@@ -36,6 +36,7 @@ def test_design_md_keeps_promised_sections():
         "## Query service",
         "## Columnar store and sharded forest",
         "## Fault model and degraded serving",
+        "## Native kernel tier",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -69,6 +70,13 @@ def test_design_md_keeps_promised_sections():
                     "ServiceConnectionError", "repro.testing.faults",
                     "resilience_gate"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the native-kernel-tier section must keep its sub-contracts
+    for keyword in ("@njit(cache=True)", "pip install .[native]",
+                    "NativeBackendUnavailableError", "UnknownBackendError",
+                    "warmup()", "NUMBA_CACHE_DIR", "_AVAILABLE",
+                    "core_ops_native_gate", "fig6a_native_gate",
+                    "un-jitted", "never imports"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # in-page anchors that README/docstrings point at must resolve to a
     # heading (GitHub slug rule: lowercase, spaces -> dashes)
     slugs = {
@@ -81,7 +89,8 @@ def test_design_md_keeps_promised_sections():
                    "dataset-substitution-table", "index-bound-kernels",
                    "batched-leaf-refinement", "query-service",
                    "columnar-store-and-sharded-forest",
-                   "fault-model-and-degraded-serving"):
+                   "fault-model-and-degraded-serving",
+                   "native-kernel-tier"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -130,5 +139,12 @@ def test_readme_covers_the_promised_ground():
         "repro.testing.faults",
         "DESIGN.md#fault-model-and-degraded-serving",
         "bench_service_resilience.py",
+        # the native-tier backend guide, gates and differential matrix
+        "pip install .[native]",
+        "set_backend(\"native\")",
+        "NativeBackendUnavailableError",
+        "UnknownBackendError",
+        "DESIGN.md#native-kernel-tier",
+        "test_backend_matrix.py",
     ):
         assert needle in text, f"README.md lost {needle!r}"

@@ -137,6 +137,127 @@ class TestForestRoundTrip:
             assert shard.ids() == forest.shards[i].ids()
 
 
+class TestCrossBackendRoundTrip:
+    """Snapshots are backend-portable (ISSUE 9): a tree built under one
+    backend loads and answers bit-identically under another, and a
+    native-built snapshot still loads on a machine without numba — the
+    typed unavailable error surfaces at first *query*, and flipping the
+    loaded tree's ``backend`` recovers it without a rebuild.
+
+    Bit-identity across built-under/queried-under pairs is exact, not
+    toleranced: the un-jitted native kernels replay the reference DP
+    operation-for-operation, so build structure and query distances agree
+    to the last bit.
+    """
+
+    @staticmethod
+    def _force_native(available):
+        import repro._native as native
+        prev = native._AVAILABLE
+        native._AVAILABLE = available
+        return lambda: setattr(native, "_AVAILABLE", prev)
+
+    def _probes(self, n=4):
+        rng = np.random.default_rng(17)
+        return [random_walk_trajectory(rng, 7) for _ in range(n)]
+
+    def test_native_built_tree_answers_under_python(self, database,
+                                                    tmp_path):
+        restore = self._force_native(True)
+        try:
+            built = TrajTree(database, num_vps=8, min_node_size=6, seed=4,
+                             backend="native")
+            save_tree(built, tmp_path / "native.pkl")
+        finally:
+            restore()
+        loaded = load_tree(tmp_path / "native.pkl")
+        assert loaded.backend == "native"
+        loaded.backend = "python"
+        oracle = TrajTree(database, num_vps=8, min_node_size=6, seed=4,
+                          backend="python")
+        for q in self._probes():
+            assert loaded.knn(q, 5) == oracle.knn(q, 5)
+            assert loaded.subtrajectory_knn(q, 3) == \
+                oracle.subtrajectory_knn(q, 3)
+
+    def test_python_built_tree_answers_under_native(self, tree, tmp_path):
+        save_tree(tree, tmp_path / "python.pkl")
+        loaded = load_tree(tmp_path / "python.pkl")
+        restore = self._force_native(True)
+        try:
+            loaded.backend = "native"
+            for q in self._probes():
+                assert loaded.knn(q, 5) == tree.knn(q, 5)
+                assert loaded.subtrajectory_knn(q, 3) == \
+                    tree.subtrajectory_knn(q, 3)
+        finally:
+            restore()
+
+    def test_native_snapshot_loads_without_numba(self, database, tmp_path):
+        restore = self._force_native(True)
+        try:
+            built = TrajTree(database, num_vps=8, min_node_size=6, seed=4,
+                             backend="native")
+            save_tree(built, tmp_path / "native.pkl")
+        finally:
+            restore()
+        restore = self._force_native(False)
+        try:
+            # loading must not need numba (pickle restores state, it does
+            # not re-run constructor validation)...
+            loaded = load_tree(tmp_path / "native.pkl")
+            assert loaded.backend == "native"
+            # ...the typed error surfaces at first query...
+            from repro.core import NativeBackendUnavailableError
+            q = self._probes(1)[0]
+            with pytest.raises(NativeBackendUnavailableError):
+                loaded.knn(q, 5)
+            # ...and re-pointing the backend recovers without a rebuild
+            loaded.backend = "python"
+            oracle = TrajTree(database, num_vps=8, min_node_size=6, seed=4)
+            for q in self._probes():
+                assert loaded.knn(q, 5) == oracle.knn(q, 5)
+        finally:
+            restore()
+
+    def test_forest_cross_backend_incl_degraded(self, database, tmp_path):
+        restore = self._force_native(True)
+        try:
+            built = TrajForest(database, num_shards=3, num_vps=4,
+                               min_node_size=6, seed=4, backend="native")
+            save_forest(built, tmp_path / "forest")
+        finally:
+            restore()
+        oracle = TrajForest(database, num_shards=3, num_vps=4,
+                            min_node_size=6, seed=4, backend="python")
+        # healthy load, queried under python
+        loaded = load_forest(tmp_path / "forest")
+        for shard in loaded.shards:
+            assert shard.backend == "native"
+            shard.backend = "python"
+        for q in self._probes():
+            assert loaded.knn(q, 5) == oracle.knn(q, 5)
+        # degraded load (one shard gone) on a numba-less machine: the
+        # forest assembles, and after the backend flip it matches the
+        # same-shards python oracle exactly
+        (tmp_path / "forest" / "shard_0001.pkl").unlink()
+        restore = self._force_native(False)
+        try:
+            degraded = load_forest(tmp_path / "forest",
+                                   on_shard_error="skip")
+            assert degraded.degraded
+            for shard in degraded.shards:
+                shard.backend = "python"
+            sub_oracle = TrajForest.from_shards(
+                [oracle.shards[0], oracle.shards[2]],
+                scheme=oracle.scheme, seed=oracle.seed,
+            )
+            for q in self._probes():
+                assert degraded.knn(q, 5) == sub_oracle.knn(q, 5)
+        finally:
+            restore()
+
+
 class TestForestValidation:
     """The two snapshot formats must version-gate each other cleanly,
     and shard damage must name the shard (ISSUE 7 fault surface)."""
