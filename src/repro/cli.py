@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core import BackendError, set_backend
@@ -254,6 +255,22 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="LRU result-cache entries (0 disables caching)")
     ps.add_argument("--timeout", type=float, default=30.0,
                     help="default per-request deadline in seconds")
+    ps.add_argument("--slo-ms", type=float, default=None,
+                    help="latency SLO in milliseconds: as the measured "
+                         "p99 approaches it, query budgets tighten and "
+                         "answers degrade to flagged anytime results "
+                         "(see DESIGN.md, 'Overload control and anytime "
+                         "queries'); unset disables degradation")
+    ps.add_argument("--max-inflight", type=int, default=64,
+                    help="admission-control concurrency tokens; control "
+                         "ops (stats/health) keep 2 reserved tokens so "
+                         "they never starve behind query floods")
+    ps.add_argument("--breaker-cooldown", type=float, default=0.5,
+                    help="seconds the dispatch circuit breaker stays "
+                         "open after tripping before probing again")
+    ps.add_argument("--breaker-threshold", type=float, default=0.5,
+                    help="dispatch failure rate (0..1] that trips the "
+                         "circuit breaker")
     ps.add_argument("--selftest", action="store_true",
                     help="serve on the chosen port, run one client "
                          "query + /stats roundtrip, then exit")
@@ -334,10 +351,16 @@ def _run_serve(args) -> int:
 
     from .index.persistence import load_forest, load_tree
     from .service import Backoff, QueryService, ServiceClient, ServiceConfig, serve
+    from .store.atomic import cleanup_stale_temps
 
     loader = None
     try:
         if args.index is not None:
+            # Reap temp debris a crashed snapshot writer left next to the
+            # tree file (forest loads sweep their own directory).
+            parent = Path(args.index).parent
+            if parent.is_dir():
+                cleanup_stale_temps(parent)
             loader = lambda: load_tree(args.index)  # noqa: E731
             tree = loader()
             origin = f"snapshot {args.index}"
@@ -370,6 +393,10 @@ def _run_serve(args) -> int:
         max_pending=args.max_pending,
         cache_capacity=args.cache_size,
         default_timeout=args.timeout,
+        max_inflight=args.max_inflight,
+        breaker_cooldown=args.breaker_cooldown,
+        breaker_threshold=args.breaker_threshold,
+        slo_ms=args.slo_ms,
     )
     service = QueryService(tree, config, loader=loader)
 

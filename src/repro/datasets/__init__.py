@@ -15,7 +15,7 @@ from .interpolation import (
     min_sampling_interval,
     resample_time_uniform,
 )
-from .io import load_csv, load_json, save_csv, save_json
+from .io import DatasetError, load_csv, load_json, save_csv, save_json
 from .noise import (
     average_speed,
     densify,
@@ -39,6 +39,7 @@ __all__ = [
     "interpolate_dataset",
     "min_sampling_interval",
     "resample_time_uniform",
+    "DatasetError",
     "load_csv",
     "load_json",
     "save_csv",

@@ -10,20 +10,47 @@ exporting to this schema:
 
 JSON stores a list of ``{"traj_id", "label", "points": [[x, y, t], ...]}``
 objects — convenient for small fixtures and examples.
+
+Both loaders harden their input: zero-point trajectories and non-finite
+(NaN/inf) coordinates raise a typed :class:`DatasetError` naming the
+offending trajectory id, instead of handing garbage to the DP kernels
+(where one NaN coordinate silently poisons every distance it touches).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.trajectory import Trajectory
 
-__all__ = ["save_csv", "load_csv", "save_json", "load_json"]
+__all__ = ["DatasetError", "save_csv", "load_csv", "save_json", "load_json"]
 
 PathLike = Union[str, Path]
+
+
+class DatasetError(ValueError):
+    """A loaded corpus is malformed: empty trajectory, NaN/inf coordinate,
+    or a schema problem — the message names the offending trajectory."""
+
+
+def _checked(points: Sequence[Tuple[float, float, float]],
+             traj_id: Optional[int], raw_key: object,
+             label: Optional[str]) -> Trajectory:
+    """Build one trajectory, rejecting empty/non-finite input."""
+    name = raw_key if traj_id is None else traj_id
+    if not points:
+        raise DatasetError(f"trajectory {name!r} has zero points")
+    for x, y, t in points:
+        if not (math.isfinite(x) and math.isfinite(y) and math.isfinite(t)):
+            raise DatasetError(
+                f"trajectory {name!r} contains a non-finite coordinate "
+                f"({x!r}, {y!r}, {t!r})"
+            )
+    return Trajectory(points, traj_id=traj_id, label=label)
 
 
 def save_csv(trajectories: Sequence[Trajectory], path: PathLike) -> None:
@@ -69,7 +96,7 @@ def load_csv(path: PathLike) -> List[Trajectory]:
             tid = int(key)
         except ValueError:
             tid = None
-        out.append(Trajectory(item["points"], traj_id=tid, label=item["label"]))
+        out.append(_checked(item["points"], tid, key, item["label"]))
     return out
 
 
@@ -94,8 +121,9 @@ def load_json(path: PathLike) -> List[Trajectory]:
         payload = json.load(f)
     out: List[Trajectory] = []
     for item in payload:
+        points = [tuple(float(v) for v in row) for row in item["points"]]
         out.append(
-            Trajectory(item["points"], traj_id=item.get("traj_id"),
-                       label=item.get("label"))
+            _checked(points, item.get("traj_id"), item.get("traj_id"),
+                     item.get("label"))
         )
     return out

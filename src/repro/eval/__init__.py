@@ -23,7 +23,13 @@ from .robustness import (
 )
 from .spearman import knn_list_correlation, rank, spearman
 from .timing import Timer, format_series_table, time_call
-from .ubfactor import UBFactorResult, random_ub_factor, ub_factor, vp_experiment
+from .ubfactor import (
+    UBFactorResult,
+    anytime_factor,
+    random_ub_factor,
+    ub_factor,
+    vp_experiment,
+)
 
 __all__ = [
     "BootstrapCI",
@@ -52,6 +58,7 @@ __all__ = [
     "format_series_table",
     "time_call",
     "UBFactorResult",
+    "anytime_factor",
     "random_ub_factor",
     "ub_factor",
     "vp_experiment",

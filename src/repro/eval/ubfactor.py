@@ -6,6 +6,12 @@ among the k trajectories the vantage descriptors rank nearest; the paper
 compares it against the *random* UB-factor (same quantity for a uniformly
 random k-subset) to show the descriptors carry signal, and reports the
 Spearman correlation between VP-ranked and true k-NN lists (0.78-0.83).
+
+:func:`anytime_factor` measures the same ratio for *budget-truncated*
+anytime answers (DESIGN.md, "Overload control and anytime queries"): the
+realized error factor of an :class:`~repro.index.budget.AnytimeResult`
+against the true k-NN, which the anytime soundness argument guarantees
+never exceeds the result's self-reported ``bound_factor``.
 """
 
 from __future__ import annotations
@@ -22,7 +28,41 @@ from ..index.vantage import VantageIndex
 from .knn import DistanceFn, distance_table, knn_from_table
 from .spearman import spearman
 
-__all__ = ["UBFactorResult", "ub_factor", "random_ub_factor", "vp_experiment"]
+__all__ = ["UBFactorResult", "ub_factor", "random_ub_factor",
+           "vp_experiment", "anytime_factor"]
+
+
+def anytime_factor(
+    results: Sequence,
+    query: Trajectory,
+    database: Sequence[Trajectory],
+    k: int,
+    distance: DistanceFn = edwp_avg,
+) -> float:
+    """Realized error factor of an anytime k-NN answer.
+
+    ``max(returned distance) / (true k-th nearest distance)`` — the same
+    ratio as the paper's UB-factor, with the anytime answer in place of
+    the VP-ranked candidate set.  ``1.0`` means the truncated answer is
+    as good as exact (every returned distance within the true k-NN
+    radius); the anytime contract says this value never exceeds the
+    ``bound_factor`` the result reports about itself.
+
+    Returns ``inf`` for answers with fewer than ``k`` entries (the
+    reported factor is also ``inf`` there) and ``1.0`` for empty-vs-empty
+    degenerate cases.
+    """
+    table = distance_table(query, database, distance)
+    true_knn = knn_from_table(table, min(k, len(table)))
+    if not true_knn:
+        return 1.0
+    if len(results) < min(k, len(table)):
+        return float("inf")
+    optimal = true_knn[-1][1]
+    worst = max(d for _, d in results)
+    if worst <= optimal:
+        return 1.0
+    return worst / (optimal if optimal > 0 else 1.0)
 
 
 @dataclass

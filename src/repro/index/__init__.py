@@ -14,6 +14,11 @@ Public surface:
   descriptors and the VP-based upper bound (Sec. IV-E).
 * :class:`~repro.index.trajtree.TrajTree` — the index with exact k-NN
   querying (Alg. 2).
+* :class:`~repro.index.budget.QueryBudget` /
+  :class:`~repro.index.budget.BudgetTracker` /
+  :class:`~repro.index.budget.AnytimeResult` — cooperative query cost
+  budgets and the anytime-answer contract (DESIGN.md, "Overload control
+  and anytime queries").
 * :class:`~repro.index.forest.TrajForest` — a sharded forest of
   TrajTrees with k-way merged exact queries (DESIGN.md, "Columnar store
   and sharded forest"), conforming to the
@@ -28,6 +33,7 @@ Public surface:
 
 from .stbox import STBox
 from .tboxseq import TBoxSeq, edwp_sub_box, edwp_sub_box_many
+from .budget import AnytimeResult, BudgetTracker, QueryBudget, combine_budgets
 from .partition import partition
 from .vantage import VantageIndex, select_vantage_points, vantage_distance, vp_distance
 from .trajtree import TrajTree
@@ -47,6 +53,10 @@ __all__ = [
     "edwp_sub_box",
     "edwp_sub_box_many",
     "partition",
+    "QueryBudget",
+    "BudgetTracker",
+    "AnytimeResult",
+    "combine_budgets",
     "VantageIndex",
     "select_vantage_points",
     "vantage_distance",

@@ -53,6 +53,14 @@ This module is self-contained (numpy + the core coordinate cache) and is
 dispatched to by :func:`repro.index.tboxseq.edwp_sub_box` /
 :func:`repro.index.tboxseq.edwp_sub_box_many` when the ``"numpy"`` backend
 is active; the pure-Python DP remains the reference oracle.
+
+Interaction with query budgets (:mod:`repro.index.budget`): budget
+accounting happens one level up, in TrajTree, *before* a batch is handed
+to these kernels — a ``max_bounds`` allowance clamps the batch to a prefix
+of the surviving children and the remainder are enqueued on their cheap
+union-rectangle bounds instead.  The kernels therefore never see a
+partially-charged batch, and the internal ``BATCH_CHUNK`` splitting below
+is purely a memory-shape concern with no budget semantics.
 """
 
 from __future__ import annotations

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import fields
@@ -50,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.trajectory import Trajectory
 from ..store import ColumnarStore
 from ..testing import faults
+from .budget import AnytimeResult, as_tracker, bound_factor_for
 from .trajtree import TrajTree, TrajTreeStats
 
 __all__ = ["TrajForest", "assign_shards", "SHARD_SCHEMES"]
@@ -397,17 +399,71 @@ class TrajForest:
         query: Trajectory,
         param,
         stats: Optional[TrajTreeStats],
+        budget=None,
     ) -> List[List[Tuple[int, float]]]:
-        """Run one query method on every shard, folding stats sums."""
+        """Run one query method on every shard, folding stats sums.
+
+        With a ``budget``, the fan-out splits one ticking tracker into
+        per-shard children (:meth:`~repro.index.budget.BudgetTracker.
+        split`): all shards share the *absolute* wall-clock deadline —
+        a slow early shard genuinely eats the later shards' time — while
+        the bound allowance divides evenly.  Per-shard exactness is read
+        back off the returned :class:`AnytimeResult` objects by the
+        merge.
+
+        Fault point ``forest.query_shard:<i>`` fires before shard ``i``
+        queries; a ``delay`` rule there stalls the fan-out mid-flight,
+        which is how the tests force deterministic per-shard deadline
+        truncation.
+        """
+        tracker = as_tracker(budget)
+        trackers = (
+            [None] * len(self.shards) if tracker is None
+            else tracker.split(len(self.shards))
+        )
         per_shard: List[List[Tuple[int, float]]] = []
-        for tree in self.shards:
+        for i, tree in enumerate(self.shards):
+            faults.fire(f"forest.query_shard:{i}")
             shard_stats = TrajTreeStats()
             per_shard.append(
-                getattr(tree, method)(query, param, stats=shard_stats)
+                getattr(tree, method)(query, param, stats=shard_stats,
+                                      budget=trackers[i])
             )
             if stats is not None:
                 _accumulate(stats, shard_stats)
         return per_shard
+
+    @staticmethod
+    def _merge_anytime(
+        merged: List[Tuple[int, float]],
+        per_shard: List[List[Tuple[int, float]]],
+        k: Optional[int],
+    ) -> AnytimeResult:
+        """Fold per-shard anytime metadata into the merged answer.
+
+        The merged answer is exact iff every shard answered exactly.  The
+        global residual is the smallest residual among truncated shards
+        (exact shards were fully enumerated — nothing of theirs is
+        unexplored), and the factor follows from it exactly as in the
+        single-tree case.  ``k=None`` (range queries) reports the subset
+        semantics: exact distances, possibly missing hits.
+        """
+        shard_exact = [bool(getattr(r, "exact", True)) for r in per_shard]
+        if all(shard_exact):
+            return AnytimeResult(merged, shard_exact=shard_exact)
+        residual = min(
+            getattr(r, "residual_bound", math.inf)
+            for r, ok in zip(per_shard, shard_exact) if not ok
+        )
+        reason = next(
+            getattr(r, "reason", None)
+            for r, ok in zip(per_shard, shard_exact) if not ok
+        )
+        factor = (1.0 if k is None
+                  else bound_factor_for(merged, k, residual))
+        return AnytimeResult(merged, exact=False, reason=reason,
+                             residual_bound=residual, bound_factor=factor,
+                             shard_exact=shard_exact)
 
     @staticmethod
     def _merge_topk(
@@ -427,6 +483,7 @@ class TrajForest:
         query: Trajectory,
         k: int,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """Exact k nearest neighbours across all shards.
 
@@ -434,31 +491,46 @@ class TrajForest:
         shard returns its exact top-k, and the k-way merge keeps the
         global top-k under the same ``(distance, traj_id)`` tie order.
         ``stats`` (optional) accumulates the summed per-shard counters.
+        ``budget`` (optional) fans out per shard (see :meth:`_fanout`);
+        the merged :class:`~repro.index.budget.AnytimeResult` carries
+        per-shard exactness on ``shard_exact``.
         """
-        per_shard = self._fanout("knn", query, int(k), stats)
-        return self._merge_topk(per_shard, int(k))
+        per_shard = self._fanout("knn", query, int(k), stats, budget)
+        merged = self._merge_topk(per_shard, int(k))
+        if budget is None:
+            return merged
+        return self._merge_anytime(merged, per_shard, int(k))
 
     def range_query(
         self,
         query: Trajectory,
         radius: float,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """All trajectories within ``radius``, merged across shards."""
-        per_shard = self._fanout("range_query", query, float(radius), stats)
+        per_shard = self._fanout("range_query", query, float(radius), stats,
+                                 budget)
         out = [hit for shard in per_shard for hit in shard]
         out.sort(key=lambda r: (r[1], r[0]))
-        return out
+        if budget is None:
+            return out
+        return self._merge_anytime(out, per_shard, None)
 
     def subtrajectory_knn(
         self,
         query: Trajectory,
         k: int,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """Best-k sub-trajectory matches across all shards (raw EDwPsub)."""
-        per_shard = self._fanout("subtrajectory_knn", query, int(k), stats)
-        return self._merge_topk(per_shard, int(k))
+        per_shard = self._fanout("subtrajectory_knn", query, int(k), stats,
+                                 budget)
+        merged = self._merge_topk(per_shard, int(k))
+        if budget is None:
+            return merged
+        return self._merge_anytime(merged, per_shard, int(k))
 
     def query_many(
         self,
@@ -469,32 +541,37 @@ class TrajForest:
 
         Same semantics as :meth:`TrajTree.query_many`: one
         ``(results, stats)`` pair per request in order, duplicates
-        (same kind, parameter, and bit-identical query points)
-        singleflighted to the *same* result/stats objects.  Each
-        request's stats are the per-shard sums.
+        (same kind, parameter, bit-identical query points, and equal
+        optional budget) singleflighted to the *same* result/stats
+        objects.  Each request's stats are the per-shard sums.
         """
         dispatch = {
-            "knn": lambda q, p, s: self.knn(q, int(p), stats=s),
-            "range": lambda q, p, s: self.range_query(q, float(p), stats=s),
+            "knn": lambda q, p, s, b: self.knn(q, int(p), stats=s, budget=b),
+            "range":
+                lambda q, p, s, b:
+                    self.range_query(q, float(p), stats=s, budget=b),
             "subtrajectory_knn":
-                lambda q, p, s: self.subtrajectory_knn(q, int(p), stats=s),
+                lambda q, p, s, b:
+                    self.subtrajectory_knn(q, int(p), stats=s, budget=b),
         }
         out: List[Tuple[List[Tuple[int, float]], TrajTreeStats]] = []
-        seen: Dict[Tuple[str, float, bytes], int] = {}
-        for kind, query, param in requests:
+        seen: Dict[tuple, int] = {}
+        for req in requests:
+            kind, query, param = req[0], req[1], req[2]
+            budget = req[3] if len(req) > 3 else None
             if kind not in dispatch:
                 raise ValueError(
                     f"unknown query kind {kind!r}; expected one of "
                     f"{tuple(dispatch)}"
                 )
-            key = (kind, float(param), query.data.tobytes())
+            key = (kind, float(param), query.data.tobytes(), budget)
             first = seen.get(key)
             if first is not None:
                 out.append(out[first])
                 continue
             seen[key] = len(out)
             stats = TrajTreeStats()
-            out.append((dispatch[kind](query, param, stats), stats))
+            out.append((dispatch[kind](query, param, stats, budget), stats))
         return out
 
     def __repr__(self) -> str:

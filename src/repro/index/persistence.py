@@ -283,6 +283,9 @@ def load_forest(
         )
     if not root.is_dir() or not (root / _FOREST_MANIFEST).is_file():
         raise ValueError(f"{root!s} is not a forest snapshot")
+    # Reap temp files a crashed writer left behind: the atomic-write
+    # protocol guarantees they were never part of a committed snapshot.
+    cleanup_stale_temps(root)
     try:
         manifest = json.loads((root / _FOREST_MANIFEST).read_text())
     except ValueError as exc:

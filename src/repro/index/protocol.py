@@ -53,6 +53,15 @@ class QueryIndex(Protocol):
     ``(distance, traj_id)`` — the library-wide tie policy — and
     ``query_many`` follows the reentrancy + duplicate-singleflight
     contract documented on :meth:`repro.index.trajtree.TrajTree.query_many`.
+
+    Every query method accepts an optional ``budget`` — a
+    :class:`repro.index.budget.QueryBudget` or live
+    :class:`~repro.index.budget.BudgetTracker`.  When a budget is passed
+    the result is an :class:`~repro.index.budget.AnytimeResult` (a list
+    subclass, so exact answers stay bit-identical) whose ``exact`` flag
+    and ``bound_factor`` report whether and how the search was truncated.
+    ``query_many`` requests may carry the budget as an optional fourth
+    tuple element; budgets participate in the singleflight key.
     """
 
     normalized: bool
@@ -60,19 +69,19 @@ class QueryIndex(Protocol):
     def __len__(self) -> int: ...
 
     def knn(
-        self, query: Trajectory, k: int, stats=None
+        self, query: Trajectory, k: int, stats=None, budget=None
     ) -> List[Tuple[int, float]]: ...
 
     def range_query(
-        self, query: Trajectory, radius: float, stats=None
+        self, query: Trajectory, radius: float, stats=None, budget=None
     ) -> List[Tuple[int, float]]: ...
 
     def subtrajectory_knn(
-        self, query: Trajectory, k: int, stats=None
+        self, query: Trajectory, k: int, stats=None, budget=None
     ) -> List[Tuple[int, float]]: ...
 
     def query_many(
-        self, requests: Sequence[Tuple[str, Trajectory, float]]
+        self, requests: Sequence[Tuple]
     ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]: ...
 
     def warm_caches(self) -> None: ...

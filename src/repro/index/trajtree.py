@@ -43,6 +43,7 @@ from ..core.edwp_sub import (
 )
 from ..core.geometry import polyline_rect_distance, polyline_rects_distance
 from ..core.trajectory import Trajectory
+from .budget import AnytimeResult, as_tracker, bound_factor_for
 from .partition import partition
 from .tboxseq import DEFAULT_MAX_BOXES, TBoxSeq, edwp_sub_box, edwp_sub_box_many
 from .vantage import VantageIndex
@@ -500,11 +501,23 @@ class TrajTree:
         query: Trajectory,
         k: int,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """Exact k nearest neighbours of ``query`` under (normalized) EDwP.
 
         Returns ``[(traj_id, distance), ...]`` sorted ascending.  ``stats``
         (optional) accumulates visit/prune/computation counters.
+
+        ``budget`` (optional — a :class:`~repro.index.budget.QueryBudget`
+        or a ticking :class:`~repro.index.budget.BudgetTracker`) makes the
+        search *anytime*: the budget is checked at every frontier pop, the
+        bound allowance clamps the batched box-DP calls, and on exhaustion
+        the search drains its deferred refinements in one batched call and
+        returns an :class:`~repro.index.budget.AnytimeResult` carrying
+        ``exact``, the frontier's residual lower bound and the implied
+        upper-bound factor (DESIGN.md, "Overload control and anytime
+        queries").  With an unlimited budget the result is bit-identical
+        to the unbudgeted call.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -512,6 +525,10 @@ class TrajTree:
             raise ValueError("query needs at least one segment")
         if stats is None:
             stats = TrajTreeStats()
+        tracker = as_tracker(budget)
+        eps = tracker.epsilon if tracker is not None else 0.0
+        truncate_reason: Optional[str] = None
+        residual = math.inf
 
         counter = itertools.count()
         # Heap entries carry both the (possibly normalized) bound ordering
@@ -548,14 +565,32 @@ class TrajTree:
 
         while cands:
             bound, _, node, raw = heapq.heappop(cands)
-            if bound > kth():
+            if bound * (1.0 + eps) > kth():
                 # min-heap order: every remaining candidate is also pruned.
                 # (Strict comparison: an equal bound could still hide an
                 # equal-distance trajectory that wins the id tie-break.
                 # kth() without the deferred members is an upper bound on
-                # the true k-th distance, so the break stays sound.)
+                # the true k-th distance, so the break stays sound.  With
+                # eps == 0 the multiply by an exact 1.0 is the identity,
+                # so the exact path is bit-identical; with eps > 0 the
+                # stop may fire early — flagged below unless the natural
+                # condition held anyway.)
                 stats.nodes_pruned += 1 + len(cands)
+                if not bound > kth():
+                    truncate_reason = "epsilon"
+                    residual = bound
                 break
+            if tracker is not None:
+                reason = tracker.exhausted()
+                if reason is not None:
+                    # Anytime truncation: the popped bound is the minimum
+                    # over everything unexplored (min-heap), so it is the
+                    # answer's residual lower bound.  Deferred refinements
+                    # still drain through the final flush() below.
+                    stats.nodes_pruned += 1 + len(cands)
+                    truncate_reason = reason
+                    residual = bound
+                    break
             stats.nodes_visited += 1
 
             # Step 1 (Alg. 2 lines 8-10): refine the upper bound via VPs,
@@ -615,10 +650,26 @@ class TrajTree:
             stats.nodes_pruned += len(children) - len(survivors)
             if not survivors:
                 continue
-            stats.bound_computations += len(survivors)
-            box_raws = self._bounds_many_raw(
-                query, [c for c, _ in survivors]
+            # The bound allowance is a hard ceiling: the batched box-DP
+            # call is clamped to what the budget still allows, and any
+            # survivors past the allowance enqueue keyed by their quick
+            # bound instead (still a valid lower bound, so the residual
+            # stays sound; the tracker is exhausted at the next pop).
+            allowance = len(survivors)
+            if tracker is not None:
+                remaining = tracker.remaining_bounds()
+                if remaining is not None and remaining < allowance:
+                    allowance = remaining
+            stats.bound_computations += allowance
+            if tracker is not None:
+                tracker.charge_bounds(allowance)
+            box_raws = (
+                self._bounds_many_raw(
+                    query, [c for c, _ in survivors[:allowance]]
+                )
+                if allowance else []
             )
+            box_raws += [qraw for _, qraw in survivors[allowance:]]
             for (child, qraw), braw in zip(survivors, box_raws):
                 child_raw = max(qraw, braw)
                 lb = self._normalize_bound(
@@ -634,7 +685,34 @@ class TrajTree:
         flush()
         result = sorted((( -negid, -negd) for negd, negid in ans),
                         key=lambda x: (x[1], x[0]))
-        return [(tid, d) for tid, d in result]
+        pairs = [(tid, d) for tid, d in result]
+        if tracker is None:
+            return pairs
+        return self._anytime(pairs, k, truncate_reason, residual)
+
+    @staticmethod
+    def _anytime(
+        pairs: List[Tuple[int, float]],
+        k: int,
+        reason: Optional[str],
+        residual: float,
+    ) -> AnytimeResult:
+        """Wrap a budgeted answer with its anytime metadata.
+
+        ``exact`` is True only when no truncation actually occurred —
+        the search reached its natural break (or emptied the frontier),
+        in which case the pairs are bit-identical to the unbudgeted
+        answer.
+        """
+        if reason is None:
+            return AnytimeResult(pairs)
+        return AnytimeResult(
+            pairs,
+            exact=False,
+            reason=reason,
+            residual_bound=residual,
+            bound_factor=bound_factor_for(pairs, k, residual),
+        )
 
     def knn_batch(
         self,
@@ -662,18 +740,23 @@ class TrajTree:
     ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]:
         """Reentrant multi-query entry point (the service layer's dispatch).
 
-        ``requests`` is a sequence of ``(kind, query, param)`` with
-        ``kind`` one of ``"knn"`` / ``"range"`` / ``"subtrajectory_knn"``
-        and ``param`` the ``k`` (k-NN kinds) or radius (range).  Returns
-        one ``(results, stats)`` pair per request, in order, where
+        ``requests`` is a sequence of ``(kind, query, param)`` or
+        ``(kind, query, param, budget)`` tuples with ``kind`` one of
+        ``"knn"`` / ``"range"`` / ``"subtrajectory_knn"``, ``param`` the
+        ``k`` (k-NN kinds) or radius (range), and ``budget`` an optional
+        :class:`~repro.index.budget.QueryBudget` applied to that request
+        (each budgeted request gets its own fresh tracker).  Returns one
+        ``(results, stats)`` pair per request, in order, where
         ``results`` is exactly what the corresponding single-query method
         returns and ``stats`` its :class:`TrajTreeStats` counters.
 
         Duplicate requests — same kind, same parameter, bit-identical
-        query points — are computed once (singleflight): the duplicates
-        share the *same* result list and stats object as their first
-        occurrence, which is how the service coalesces many users' hot
-        queries into one index pass per tick.
+        query points, equal budget — are computed once (singleflight):
+        the duplicates share the *same* result list and stats object as
+        their first occurrence, which is how the service coalesces many
+        users' hot queries into one index pass per tick.  Budgets join
+        the singleflight key because a truncated answer is only valid
+        for requesters who accepted that budget.
 
         Reentrancy contract: the call never mutates tree state — each
         query gets a fresh stats object, traversal state is local, and
@@ -683,27 +766,32 @@ class TrajTree:
         are safe on a tree that is not being updated.
         """
         dispatch = {
-            "knn": lambda q, p, s: self.knn(q, int(p), stats=s),
-            "range": lambda q, p, s: self.range_query(q, float(p), stats=s),
+            "knn": lambda q, p, s, b: self.knn(q, int(p), stats=s, budget=b),
+            "range":
+                lambda q, p, s, b:
+                    self.range_query(q, float(p), stats=s, budget=b),
             "subtrajectory_knn":
-                lambda q, p, s: self.subtrajectory_knn(q, int(p), stats=s),
+                lambda q, p, s, b:
+                    self.subtrajectory_knn(q, int(p), stats=s, budget=b),
         }
         out: List[Tuple[List[Tuple[int, float]], TrajTreeStats]] = []
-        seen: Dict[Tuple[str, float, bytes], int] = {}
-        for kind, query, param in requests:
+        seen: Dict[tuple, int] = {}
+        for req in requests:
+            kind, query, param = req[0], req[1], req[2]
+            budget = req[3] if len(req) > 3 else None
             if kind not in dispatch:
                 raise ValueError(
                     f"unknown query kind {kind!r}; expected one of "
                     f"{tuple(dispatch)}"
                 )
-            key = (kind, float(param), query.data.tobytes())
+            key = (kind, float(param), query.data.tobytes(), budget)
             first = seen.get(key)
             if first is not None:
                 out.append(out[first])
                 continue
             seen[key] = len(out)
             stats = TrajTreeStats()
-            out.append((dispatch[kind](query, param, stats), stats))
+            out.append((dispatch[kind](query, param, stats, budget), stats))
         return out
 
     def warm_caches(self) -> None:
@@ -747,12 +835,20 @@ class TrajTree:
         query: Trajectory,
         radius: float,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """All trajectories within (normalized) EDwP ``radius`` of the query.
 
         Uses the same lower bounds as k-NN: a subtree is skipped when its
         bound exceeds the radius.  Returns ``[(traj_id, distance), ...]``
         sorted ascending.
+
+        ``budget`` (optional) is checked once per traversal wave; on
+        exhaustion the collected hits come back as an anytime *subset*
+        (every returned pair is a true in-radius hit with its exact
+        distance, but hits under the unexplored frontier may be missing
+        — ``exact=False``, ``residual_bound=0.0``).  Epsilon does not
+        apply: the radius is fixed, there is no k-th distance to relax.
         """
         if radius < 0:
             raise ValueError("radius must be non-negative")
@@ -760,6 +856,8 @@ class TrajTree:
             raise ValueError("query needs at least one segment")
         if stats is None:
             stats = TrajTreeStats()
+        tracker = as_tracker(budget)
+        truncate_reason: Optional[str] = None
 
         # Wave traversal: the radius never changes, so whole frontiers can
         # be filtered at once — one batched quick-bound call, one batched
@@ -768,6 +866,11 @@ class TrajTree:
         out: List[Tuple[int, float]] = []
         frontier: List[_Node] = [self.root]
         while frontier:
+            if tracker is not None:
+                truncate_reason = tracker.exhausted()
+                if truncate_reason is not None:
+                    stats.nodes_pruned += len(frontier)
+                    break
             if self.use_quick_bound:
                 stats.quick_bound_computations += len(frontier)
                 quicks = self._quick_bounds_many(query, frontier)
@@ -782,6 +885,8 @@ class TrajTree:
             if not survivors:
                 break
             stats.bound_computations += len(survivors)
+            if tracker is not None:
+                tracker.charge_bounds(len(survivors))
             bounds = self._bounds_many(query, survivors)
             next_frontier: List[_Node] = []
             leaf_ids: List[int] = []
@@ -802,7 +907,14 @@ class TrajTree:
                 )
             frontier = next_frontier
         out.sort(key=lambda x: (x[1], x[0]))
-        return out
+        if tracker is None:
+            return out
+        if truncate_reason is None:
+            return AnytimeResult(out)
+        # A truncated range answer is a sound subset; distances are exact
+        # (factor 1.0) but completeness is lost, which residual 0.0 states.
+        return AnytimeResult(out, exact=False, reason=truncate_reason,
+                             residual_bound=0.0, bound_factor=1.0)
 
     def range_query_scan(
         self, query: Trajectory, radius: float
@@ -822,6 +934,7 @@ class TrajTree:
         query: Trajectory,
         k: int,
         stats: Optional[TrajTreeStats] = None,
+        budget=None,
     ) -> List[Tuple[int, float]]:
         """k trajectories containing the sub-trajectory most similar to
         ``query`` under ``EDwPsub`` (Eq. 6).
@@ -836,7 +949,8 @@ class TrajTree:
         refinement batches them through
         :func:`repro.core.edwp_sub.edwp_sub_many`, and child bounds run
         through the same batched box kernel as :meth:`knn`.  ``stats``
-        (optional) accumulates the same counters as :meth:`knn`.
+        (optional) accumulates the same counters as :meth:`knn`;
+        ``budget`` (optional) follows :meth:`knn`'s anytime contract.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -844,6 +958,10 @@ class TrajTree:
             raise ValueError("query needs at least one segment")
         if stats is None:
             stats = TrajTreeStats()
+        tracker = as_tracker(budget)
+        eps = tracker.epsilon if tracker is not None else 0.0
+        truncate_reason: Optional[str] = None
+        residual = math.inf
 
         counter = itertools.count()
         cands: List[Tuple[float, int, _Node]] = []
@@ -876,11 +994,22 @@ class TrajTree:
 
         while cands:
             bound, _, node = heapq.heappop(cands)
-            if bound > kth():
+            if bound * (1.0 + eps) > kth():
                 # kth() without the deferred members upper-bounds the true
-                # k-th distance, so the bulk prune stays sound.
+                # k-th distance, so the bulk prune stays sound.  (eps == 0
+                # multiplies by an exact 1.0 — the exact path unchanged.)
                 stats.nodes_pruned += 1 + len(cands)
+                if not bound > kth():
+                    truncate_reason = "epsilon"
+                    residual = bound
                 break
+            if tracker is not None:
+                reason = tracker.exhausted()
+                if reason is not None:
+                    stats.nodes_pruned += 1 + len(cands)
+                    truncate_reason = reason
+                    residual = bound
+                    break
             stats.nodes_visited += 1
             if node.is_leaf:
                 # Deferred, like knn: consecutive leaf pops accumulate into
@@ -904,16 +1033,32 @@ class TrajTree:
             else:
                 quicks = [0.0] * len(children)
             survivors = [
-                child
+                (child, quick)
                 for child, quick in zip(children, quicks)
                 if quick <= limit
             ]
             stats.nodes_pruned += len(children) - len(survivors)
             if not survivors:
                 continue
-            stats.bound_computations += len(survivors)
-            bounds = self._bounds_many(query, survivors, normalized=False)
-            for child, lb in zip(survivors, bounds):
+            # Same hard bound-allowance ceiling as knn: past the
+            # allowance, children enqueue keyed by their quick bound.
+            allowance = len(survivors)
+            if tracker is not None:
+                remaining = tracker.remaining_bounds()
+                if remaining is not None and remaining < allowance:
+                    allowance = remaining
+            stats.bound_computations += allowance
+            if tracker is not None:
+                tracker.charge_bounds(allowance)
+            bounds = (
+                self._bounds_many(
+                    query, [c for c, _ in survivors[:allowance]],
+                    normalized=False,
+                )
+                if allowance else []
+            )
+            bounds += [quick for _, quick in survivors[allowance:]]
+            for (child, _), lb in zip(survivors, bounds):
                 if lb <= limit:
                     heapq.heappush(cands, (lb, next(counter), child))
                 else:
@@ -922,7 +1067,10 @@ class TrajTree:
         flush()
         result = sorted(((-negid, -negd) for negd, negid in ans),
                         key=lambda x: (x[1], x[0]))
-        return [(tid, d) for tid, d in result]
+        pairs = [(tid, d) for tid, d in result]
+        if tracker is None:
+            return pairs
+        return self._anytime(pairs, k, truncate_reason, residual)
 
     def subtrajectory_knn_scan(
         self, query: Trajectory, k: int

@@ -11,7 +11,13 @@ point.  DESIGN.md ("Fault model and degraded serving") covers the
 resilience surface: typed ``ServiceConnectionError`` transport failures,
 client retry with full-jitter backoff (:class:`~repro.service.retry.RetryPolicy`),
 the ``health`` / ``reload`` control ops, degraded-forest serving and the
-background reload-retry loop.
+background reload-retry loop.  DESIGN.md ("Overload control and anytime
+queries") covers the overload surface: two-class admission control
+(:class:`~repro.service.admission.AdmissionController`), the dispatch
+circuit breaker (:class:`~repro.service.breaker.CircuitBreaker`,
+``ServiceUnavailable`` with retry-after), and SLO-driven budget
+degradation (:class:`~repro.service.admission.DegradationPolicy`) that
+turns overload into flagged anytime answers instead of timeouts.
 
 Public surface:
 
@@ -32,7 +38,9 @@ Public surface:
   importable on their own.
 """
 
+from .admission import AdmissionController, DegradationPolicy
 from .batcher import BatchOutcome, CoalescingBatcher
+from .breaker import CircuitBreaker
 from .cache import LRUCache
 from .client import ServiceClient
 from .protocol import (
@@ -44,13 +52,17 @@ from .protocol import (
     ServiceConnectionError,
     ServiceError,
     ServiceOverloaded,
+    ServiceUnavailable,
     query_digest,
 )
-from .retry import Backoff, RetryPolicy
+from .retry import Backoff, RetryExhausted, RetryPolicy
 from .server import QueryService, ServiceConfig, serve
 from .stats import ServiceStats
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DegradationPolicy",
     "BatchOutcome",
     "CoalescingBatcher",
     "LRUCache",
@@ -63,8 +75,10 @@ __all__ = [
     "ServiceConnectionError",
     "ServiceError",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "query_digest",
     "Backoff",
+    "RetryExhausted",
     "RetryPolicy",
     "QueryService",
     "ServiceConfig",

@@ -1,0 +1,268 @@
+"""Admission control and SLO-driven degradation for the query service.
+
+Two cooperating pieces sit in front of the dispatch path (DESIGN.md,
+"Overload control and anytime queries"):
+
+:class:`AdmissionController`
+    A small token scheduler with two request classes.  ``query`` work
+    (kNN / range floods) competes for at most ``max_inflight -
+    reserved_control`` concurrency tokens; ``control`` work (``stats``,
+    ``health``, ``ping``, ``reload``) may use *any* token, including the
+    reserved ones — so a health probe never waits behind a pile of kNN
+    requests for the last token.  Each class has a bounded FIFO wait
+    queue; when a queue is full the request is shed immediately with
+    :class:`~repro.service.protocol.ServiceOverloaded` rather than
+    building unbounded latency.  Releases wake control waiters first —
+    the "priority queue" half of the scheme.
+
+:class:`DegradationPolicy`
+    Watches completed-query latencies and, as the measured p99 approaches
+    the configured SLO, emits a progressively tighter
+    :class:`~repro.index.budget.QueryBudget` floor for the server to
+    ``combine_budgets`` into every query.  Pressure rises instantly
+    (one bad window tightens the floor now) and decays slowly (recovery
+    is gradual, avoiding oscillation).  At full pressure the floor is the
+    configured ``floor`` budget; between ``start`` and ``full`` pressure
+    the knobs interpolate: deadlines and bound allowances shrink toward
+    the floor, epsilon grows toward it.  The result is the ISSUE's
+    degraded mode: under overload the service answers *approximately and
+    flagged* instead of timing out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from contextlib import asynccontextmanager
+from typing import Deque, Dict, List, Optional
+
+from ..index.budget import QueryBudget
+from .protocol import ServiceOverloaded
+
+__all__ = ["AdmissionController", "DegradationPolicy"]
+
+#: Request classes the controller distinguishes.
+CLASSES = ("query", "control")
+
+
+class AdmissionController:
+    """Two-class concurrency-token scheduler with bounded wait queues.
+
+    ``max_inflight`` is the total token pool; ``reserved_control`` tokens
+    are usable only by the ``control`` class.  ``max_waiting`` bounds each
+    class's wait queue — an arriving request that finds its queue full is
+    shed with :class:`ServiceOverloaded` carrying a ``retry_after`` hint.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        reserved_control: int = 2,
+        max_waiting: int = 512,
+        retry_after: float = 0.05,
+    ):
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if not 0 <= reserved_control < max_inflight:
+            raise ValueError(
+                "reserved_control must be in [0, max_inflight)"
+            )
+        self.max_inflight = max_inflight
+        self.reserved_control = reserved_control
+        self.max_waiting = max_waiting
+        self.retry_after = retry_after
+        self._inflight = 0
+        self._waiters: Dict[str, Deque[asyncio.Future]] = {
+            cls: deque() for cls in CLASSES
+        }
+        self.admitted = {cls: 0 for cls in CLASSES}
+        self.shed = {cls: 0 for cls in CLASSES}
+
+    def _limit(self, cls: str) -> int:
+        if cls == "control":
+            return self.max_inflight
+        return self.max_inflight - self.reserved_control
+
+    def _try_acquire(self, cls: str) -> bool:
+        if self._inflight < self._limit(cls):
+            self._inflight += 1
+            return True
+        return False
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        # Wake control waiters first: they may use the reserved tokens
+        # that query waiters cannot, and they are the latency-critical
+        # class.  A woken future re-checks nothing — the token transfers
+        # directly, so a burst of releases cannot over-admit.
+        for cls in ("control", "query"):
+            queue = self._waiters[cls]
+            while queue:
+                fut = queue.popleft()
+                if fut.done():  # cancelled while waiting
+                    continue
+                if self._try_acquire(cls):
+                    fut.set_result(None)
+                else:
+                    queue.appendleft(fut)
+                return
+
+    @asynccontextmanager
+    async def admit(self, cls: str = "query"):
+        """Hold one concurrency token for the duration of the block.
+
+        Sheds with :class:`ServiceOverloaded` (with ``retry_after``) when
+        the class's wait queue is full.  Safe under cancellation: a
+        waiter cancelled before admission never holds a token; one
+        cancelled *after* the token transferred releases it.
+        """
+        if cls not in CLASSES:
+            raise ValueError(f"unknown admission class {cls!r}")
+        if not self._try_acquire(cls):
+            queue = self._waiters[cls]
+            if len(queue) >= self.max_waiting:
+                self.shed[cls] += 1
+                exc = ServiceOverloaded(
+                    f"admission queue full for class {cls!r} "
+                    f"({len(queue)} waiting); retry after "
+                    f"{self.retry_after:g}s"
+                )
+                exc.retry_after = self.retry_after
+                raise exc
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            queue.append(fut)
+            try:
+                await fut
+            except asyncio.CancelledError:
+                if fut.done() and not fut.cancelled():
+                    # The token already transferred; give it back.
+                    self._release()
+                else:
+                    try:
+                        queue.remove(fut)
+                    except ValueError:
+                        pass
+                raise
+        self.admitted[cls] += 1
+        try:
+            yield
+        finally:
+            self._release()
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Snapshot for the ``/stats`` endpoint."""
+        return {
+            "max_inflight": self.max_inflight,
+            "reserved_control": self.reserved_control,
+            "inflight": self._inflight,
+            "waiting": {
+                cls: len(self._waiters[cls]) for cls in CLASSES
+            },
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+        }
+
+
+class DegradationPolicy:
+    """Turn a measured p99-vs-SLO pressure signal into a budget floor.
+
+    ``observe(latency_seconds)`` feeds completed-query latencies; every
+    ``recompute_every`` observations the p99 of the sliding window is
+    recomputed and the degradation *level* updated:
+
+    * ``pressure = p99 / slo`` (both seconds).
+    * The target level is ``clamp((pressure - start) / (full - start),
+      0, 1)`` — 0 below ``start`` (default 0.7: p99 at 70% of SLO),
+      1 at ``full`` (default 1.0: p99 at the SLO).
+    * The level *rises* to the target immediately but *decays* toward it
+      by at most ``decay`` per recompute, so one good window does not
+      snap the service back to exact mode mid-overload.
+
+    ``current_budget()`` maps the level onto the configured ``floor``
+    budget: at level ``L`` the deadline is ``floor.deadline / L`` (so it
+    reaches the floor exactly at full pressure and relaxes hyperbolically
+    below), ``max_bounds`` likewise, and ``epsilon`` is ``floor.epsilon *
+    L``.  At level 0 it returns ``None`` — no tightening.
+    """
+
+    def __init__(
+        self,
+        slo_ms: Optional[float],
+        floor: Optional[QueryBudget] = None,
+        window: int = 128,
+        recompute_every: int = 16,
+        start: float = 0.7,
+        full: float = 1.0,
+        decay: float = 0.25,
+    ):
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if not start < full:
+            raise ValueError("start pressure must be below full pressure")
+        self.slo_ms = slo_ms
+        self.floor = floor
+        self.start = start
+        self.full = full
+        self.decay = decay
+        self.recompute_every = recompute_every
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._since_recompute = 0
+        self.level = 0.0
+        self.p99 = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.slo_ms is not None and self.floor is not None
+
+    def observe(self, latency_seconds: float) -> None:
+        if not self.enabled:
+            return
+        self._latencies.append(latency_seconds)
+        self._since_recompute += 1
+        if self._since_recompute >= self.recompute_every:
+            self._since_recompute = 0
+            self._recompute()
+
+    def _recompute(self) -> None:
+        ordered: List[float] = sorted(self._latencies)
+        if not ordered:
+            return
+        idx = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        self.p99 = ordered[idx]
+        pressure = self.p99 / (self.slo_ms / 1000.0)
+        span = self.full - self.start
+        target = min(1.0, max(0.0, (pressure - self.start) / span))
+        if target >= self.level:
+            self.level = target
+        else:
+            self.level = max(target, self.level - self.decay)
+
+    def current_budget(self) -> Optional[QueryBudget]:
+        """The budget floor to fold into queries right now, or ``None``."""
+        if not self.enabled or self.level <= 0.0:
+            return None
+        lvl = self.level
+        floor = self.floor
+        deadline = (
+            None if floor.deadline is None else floor.deadline / lvl
+        )
+        max_bounds = (
+            None
+            if floor.max_bounds is None
+            else max(1, int(floor.max_bounds / lvl))
+        )
+        epsilon = floor.epsilon * lvl if floor.epsilon else 0.0
+        return QueryBudget(
+            deadline=deadline, max_bounds=max_bounds, epsilon=epsilon
+        )
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Snapshot for the ``/stats`` endpoint."""
+        budget = self.current_budget()
+        return {
+            "enabled": self.enabled,
+            "slo_ms": self.slo_ms,
+            "level": self.level,
+            "p99_ms": self.p99 * 1000.0,
+            "active_budget": None if budget is None else budget.to_dict(),
+        }

@@ -1,0 +1,124 @@
+"""Circuit breaker guarding the query dispatch path.
+
+Classic three-state machine (DESIGN.md, "Overload control and anytime
+queries"):
+
+``closed``
+    Normal operation.  Every dispatch outcome lands in a sliding window
+    of booleans; when the window holds at least ``min_samples`` outcomes
+    and the failure rate reaches ``threshold``, the breaker *opens*.
+
+``open``
+    :meth:`check` raises :class:`~repro.service.protocol.ServiceUnavailable`
+    with ``retry_after`` set to the remaining cooldown — callers get an
+    immediate typed refusal instead of queueing work the backend is
+    currently failing.  After ``cooldown`` seconds the next
+    :meth:`check` transitions to half-open.
+
+``half_open``
+    A limited number of probe requests (``probes``) are let through.
+    ``probes`` consecutive successes close the breaker and clear the
+    window; any failure re-opens it for a fresh cooldown.
+
+Failures are *dispatch* failures: per-request timeouts and unexpected
+dispatch exceptions.  Shed requests (``ServiceOverloaded``) and client
+mistakes (``InvalidRequest``) never count — they say nothing about
+backend health.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from .protocol import ServiceUnavailable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with half-open probes."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        threshold: float = 0.5,
+        min_samples: int = 16,
+        cooldown: float = 0.5,
+        probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_samples <= 0 or window < min_samples:
+            raise ValueError("need 0 < min_samples <= window")
+        if probes <= 0:
+            raise ValueError("probes must be positive")
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.probes = probes
+        self._clock = clock
+        self._window: Deque[bool] = deque(maxlen=window)
+        self.state = "closed"
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        self.trips = 0
+
+    def check(self) -> None:
+        """Gate one dispatch; raises :class:`ServiceUnavailable` if open."""
+        if self.state == "open":
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self.cooldown:
+                self.state = "half_open"
+                self._probe_successes = 0
+            else:
+                remaining = max(0.0, self.cooldown - elapsed)
+                raise ServiceUnavailable(
+                    "circuit breaker open: dispatch failure rate exceeded "
+                    f"{self.threshold:g}; retry after {remaining:.3f}s",
+                    retry_after=remaining,
+                )
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self._probe_successes += 1
+            if self._probe_successes >= self.probes:
+                self.state = "closed"
+                self._window.clear()
+            return
+        self._window.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == "half_open":
+            self._trip()
+            return
+        if self.state == "open":
+            return
+        self._window.append(False)
+        if len(self._window) >= self.min_samples:
+            failures = sum(1 for ok in self._window if not ok)
+            if failures / len(self._window) >= self.threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self._opened_at = self._clock()
+        self._window.clear()
+        self.trips += 1
+
+    def retry_after(self) -> Optional[float]:
+        """Remaining cooldown if open, else ``None``."""
+        if self.state != "open":
+            return None
+        return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Snapshot for the ``/stats`` endpoint."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "window": len(self._window),
+            "failures": sum(1 for ok in self._window if not ok),
+        }

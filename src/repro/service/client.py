@@ -41,17 +41,19 @@ import asyncio
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.trajectory import Trajectory
+from ..index.budget import QueryBudget
 from ..testing import faults
 from .protocol import (
     QueryRequest,
     ServiceConnectionError,
     ServiceOverloaded,
+    ServiceUnavailable,
     decode_response,
     encode_request,
     encode_response,
     error_from_code,
 )
-from .retry import RetryPolicy
+from .retry import RetryExhausted, RetryPolicy
 
 __all__ = ["ServiceClient"]
 
@@ -120,27 +122,36 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     async def knn(self, query: Trajectory, k: int,
-                  timeout: Optional[float] = None
+                  timeout: Optional[float] = None,
+                  budget: Optional[QueryBudget] = None
                   ) -> Tuple[Results, Dict[str, Any]]:
-        """k nearest neighbours; mirrors :meth:`TrajTree.knn`."""
-        return await self._query(QueryRequest("knn", query, k, timeout))
+        """k nearest neighbours; mirrors :meth:`TrajTree.knn`.
+
+        ``budget`` volunteers a :class:`~repro.index.budget.QueryBudget`;
+        a truncated answer comes back flagged in ``meta["anytime"]``.
+        """
+        return await self._query(
+            QueryRequest("knn", query, k, timeout, budget)
+        )
 
     async def range_query(self, query: Trajectory, radius: float,
-                          timeout: Optional[float] = None
+                          timeout: Optional[float] = None,
+                          budget: Optional[QueryBudget] = None
                           ) -> Tuple[Results, Dict[str, Any]]:
         """All trajectories within ``radius``; mirrors
         :meth:`TrajTree.range_query`."""
         return await self._query(
-            QueryRequest("range", query, radius, timeout)
+            QueryRequest("range", query, radius, timeout, budget)
         )
 
     async def subtrajectory_knn(self, query: Trajectory, k: int,
-                                timeout: Optional[float] = None
+                                timeout: Optional[float] = None,
+                                budget: Optional[QueryBudget] = None
                                 ) -> Tuple[Results, Dict[str, Any]]:
         """Sub-trajectory k-NN; mirrors
         :meth:`TrajTree.subtrajectory_knn`."""
         return await self._query(
-            QueryRequest("subtrajectory_knn", query, k, timeout)
+            QueryRequest("subtrajectory_knn", query, k, timeout, budget)
         )
 
     async def stats(self) -> Dict[str, Any]:
@@ -195,10 +206,17 @@ class ServiceClient:
     async def _request(self, data: bytes) -> Dict[str, Any]:
         """One request line → one response object, with the retry loop.
 
-        Transient failures (connection errors, overload sheds) retry up
-        to the policy's budget with full-jitter backoff; connection
-        failures reconnect first (requires the client to know its
-        ``host``/``port`` — one built from raw streams cannot).
+        Transient failures (connection errors, overload sheds, breaker
+        refusals) retry up to the policy's budget with full-jitter
+        backoff; connection failures reconnect first (requires the client
+        to know its ``host``/``port`` — one built from raw streams
+        cannot).  A breaker refusal
+        (:class:`~repro.service.protocol.ServiceUnavailable`) carries the
+        server's ``retry_after`` suggestion, which stretches the next
+        delay when it exceeds the jittered one.  When the whole budget is
+        spent on transient failures, a typed non-retryable
+        :class:`~repro.service.retry.RetryExhausted` surfaces instead of
+        the last transient error.
         """
         policy = self._retry
         attempts = policy.attempts if policy is not None else 1
@@ -212,12 +230,26 @@ class ServiceClient:
                         )
                     await self._open()
                 return await self._roundtrip(data)
-            except (ServiceConnectionError, ServiceOverloaded) as exc:
-                if not isinstance(exc, ServiceOverloaded):
+            except (ServiceConnectionError, ServiceOverloaded,
+                    ServiceUnavailable) as exc:
+                if isinstance(exc, ServiceConnectionError):
+                    # Overload sheds and breaker refusals are healthy
+                    # server answers — only transport failures poison
+                    # the connection.
                     await self._teardown()
                 if attempt + 1 >= attempts:
+                    if attempts > 1:
+                        raise RetryExhausted(
+                            f"all {attempts} attempts failed transiently; "
+                            f"last error: [{exc.code}] {exc}",
+                            last_error=exc,
+                        ) from exc
                     raise
-                await asyncio.sleep(policy.delay(attempt, self._rng))
+                delay = policy.delay(attempt, self._rng)
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    delay = max(delay, retry_after)
+                await asyncio.sleep(delay)
         raise AssertionError("unreachable")
 
     async def _roundtrip(self, data: bytes) -> Dict[str, Any]:
@@ -240,5 +272,6 @@ class ServiceClient:
         if not obj.get("ok"):
             err = obj.get("error") or {}
             raise error_from_code(err.get("code", "service_error"),
-                                  err.get("message", "request failed"))
+                                  err.get("message", "request failed"),
+                                  retry_after=err.get("retry_after"))
         return obj

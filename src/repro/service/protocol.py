@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.trajectory import Trajectory
+from ..index.budget import QueryBudget
 
 __all__ = [
     "KINDS",
@@ -36,6 +37,7 @@ __all__ = [
     "QueryResponse",
     "ServiceError",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "RequestTimeout",
     "InvalidRequest",
     "ServiceClosed",
@@ -63,6 +65,23 @@ class ServiceOverloaded(ServiceError):
     was rejected *before* entering the batcher — retry later)."""
 
     code = "overloaded"
+
+
+class ServiceUnavailable(ServiceError):
+    """The dispatch circuit breaker is open: the service observed a
+    sustained timeout/error rate and is refusing queries for a cooldown
+    period instead of queueing more doomed work.
+
+    ``retry_after`` (seconds, may be ``None``) is the server's suggestion
+    for when a probe is worth sending; ``ServiceClient.retry`` honors it
+    when scheduling the next attempt.
+    """
+
+    code = "unavailable"
+
+    def __init__(self, message: str = "", retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RequestTimeout(ServiceError):
@@ -99,14 +118,20 @@ class ServiceConnectionError(ServiceError):
 
 _ERRORS = {
     cls.code: cls
-    for cls in (ServiceError, ServiceOverloaded, RequestTimeout,
-                InvalidRequest, ServiceClosed, ServiceConnectionError)
+    for cls in (ServiceError, ServiceOverloaded, ServiceUnavailable,
+                RequestTimeout, InvalidRequest, ServiceClosed,
+                ServiceConnectionError)
 }
 
 
-def error_from_code(code: str, message: str) -> ServiceError:
+def error_from_code(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> ServiceError:
     """Reconstruct the typed error a remote service reported."""
-    return _ERRORS.get(code, ServiceError)(message)
+    cls = _ERRORS.get(code, ServiceError)
+    if cls is ServiceUnavailable:
+        return ServiceUnavailable(message, retry_after=retry_after)
+    return cls(message)
 
 
 @dataclass(frozen=True)
@@ -115,13 +140,18 @@ class QueryRequest:
 
     ``param`` is ``k`` for the k-NN kinds and the radius for ``range``.
     ``timeout`` (seconds) overrides the service's default per-request
-    deadline; ``None`` keeps the default.
+    deadline; ``None`` keeps the default.  ``budget`` is an optional
+    :class:`~repro.index.budget.QueryBudget` the caller volunteers; the
+    server tightens it further under load (``combine_budgets`` with the
+    degradation policy's current floor) and reports truncation in the
+    response ``meta``.
     """
 
     kind: str
     query: Trajectory
     param: float
     timeout: Optional[float] = None
+    budget: Optional[QueryBudget] = None
 
     def validated(self) -> "QueryRequest":
         """Raise :class:`InvalidRequest` unless the request is servable."""
@@ -162,7 +192,8 @@ def query_digest(request: QueryRequest) -> str:
     parameter, and bit-identical query points — exactly the condition
     under which the service may share one computed result between them.
     (``timeout`` is delivery policy, not computation identity, and is
-    excluded.)
+    excluded; ``budget`` *is* computation identity — a truncated search
+    and an exact one are different computations.)
     """
     h = hashlib.sha256()
     h.update(request.kind.encode())
@@ -170,6 +201,11 @@ def query_digest(request: QueryRequest) -> str:
     h.update(repr(float(request.param)).encode())
     h.update(b"|")
     h.update(request.query.data.tobytes())
+    if request.budget is not None:
+        h.update(b"|")
+        h.update(
+            json.dumps(request.budget.to_dict(), sort_keys=True).encode()
+        )
     return h.hexdigest()
 
 
@@ -187,6 +223,8 @@ def encode_request(request: QueryRequest) -> bytes:
     }
     if request.timeout is not None:
         obj["timeout"] = request.timeout
+    if request.budget is not None:
+        obj["budget"] = request.budget.to_dict()
     return json.dumps(obj).encode() + b"\n"
 
 
@@ -227,7 +265,15 @@ def request_from_obj(obj: Dict[str, Any]) -> QueryRequest:
     timeout = obj.get("timeout")
     if timeout is not None:
         timeout = float(timeout)
-    return QueryRequest(kind, query, param, timeout).validated()
+    budget = obj.get("budget")
+    if budget is not None:
+        if not isinstance(budget, dict):
+            raise InvalidRequest("'budget' must be a JSON object")
+        try:
+            budget = QueryBudget.from_dict(budget)
+        except (TypeError, ValueError) as exc:
+            raise InvalidRequest(f"bad budget: {exc}") from None
+    return QueryRequest(kind, query, param, timeout, budget).validated()
 
 
 def encode_response(obj: Dict[str, Any]) -> bytes:

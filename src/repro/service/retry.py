@@ -15,10 +15,18 @@ Two schedules, one module:
   jitter, and determinism keeps the chaos gate reproducible), with
   :meth:`Backoff.reset` for when an attempt makes progress.
 
-:func:`is_transient` is the shared classification: overload sheds and
+:func:`is_transient` is the shared classification: overload sheds,
+breaker refusals (:class:`~repro.service.protocol.ServiceUnavailable` —
+the breaker *suggests* when to come back via ``retry_after``) and
 transport failures are worth retrying (the query kinds are idempotent
 reads); invalid requests, timeouts and closed services are not —
 a timeout already *spent* its deadline, retrying it would double it.
+
+When a policy's whole attempt budget is consumed by transient failures,
+the client surfaces :class:`RetryExhausted` — a typed, *non-retryable*
+error chaining the final transient failure — so callers distinguish "the
+service refused N times in a row" from a single transient blip they might
+themselves retry.
 """
 
 from __future__ import annotations
@@ -27,14 +35,36 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from .protocol import ServiceConnectionError, ServiceOverloaded
+from .protocol import (
+    ServiceConnectionError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
 
-__all__ = ["RetryPolicy", "Backoff", "is_transient", "TRANSIENT_ERRORS"]
+__all__ = ["RetryPolicy", "Backoff", "RetryExhausted", "is_transient",
+           "TRANSIENT_ERRORS"]
 
-#: Errors a retry may heal: backpressure sheds, typed transport failures,
-#: and raw OS-level connection errors (hit while *re*-connecting).
-TRANSIENT_ERRORS = (ServiceOverloaded, ServiceConnectionError,
-                    ConnectionError)
+#: Errors a retry may heal: backpressure sheds, breaker refusals, typed
+#: transport failures, and raw OS-level connection errors (hit while
+#: *re*-connecting).
+TRANSIENT_ERRORS = (ServiceOverloaded, ServiceUnavailable,
+                    ServiceConnectionError, ConnectionError)
+
+
+class RetryExhausted(ServiceError):
+    """Every attempt of a retry policy failed transiently.
+
+    Non-retryable by construction (``is_transient`` returns ``False``):
+    the policy already spent its budget.  ``last_error`` holds the final
+    transient failure (also chained as ``__cause__``).
+    """
+
+    code = "retry_exhausted"
+
+    def __init__(self, message: str, last_error: Optional[BaseException] = None):
+        super().__init__(message)
+        self.last_error = last_error
 
 
 def is_transient(exc: BaseException) -> bool:

@@ -50,9 +50,13 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..index.budget import QueryBudget, combine_budgets
 from ..index.protocol import QueryIndex, ensure_query_index
 from ..index.trajtree import TrajTreeStats
+from ..testing import faults
+from .admission import AdmissionController, DegradationPolicy
 from .batcher import CoalescingBatcher
+from .breaker import CircuitBreaker
 from .cache import LRUCache
 from .protocol import (
     QueryRequest,
@@ -60,6 +64,8 @@ from .protocol import (
     RequestTimeout,
     ServiceClosed,
     ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
     decode_request,
     encode_response,
     query_digest,
@@ -87,6 +93,22 @@ class ServiceConfig:
     max_pending: int = 256         # bounded queue: shed above this
     cache_capacity: int = 1024     # LRU entries; 0 disables caching
     default_timeout: Optional[float] = 30.0   # seconds; None = no deadline
+
+    # -- overload control (DESIGN.md, "Overload control and anytime
+    #    queries").  Defaults are deliberately generous: light workloads
+    #    never hit admission limits, the breaker needs a sustained 50%
+    #    dispatch-failure rate to trip, and degradation is off until an
+    #    SLO is configured. --
+    max_inflight: int = 64         # total admission tokens
+    reserved_control: int = 2      # tokens only control ops may take
+    admission_max_waiting: int = 512   # per-class wait-queue bound
+    breaker_window: int = 64       # dispatch outcomes in the rate window
+    breaker_threshold: float = 0.5     # failure rate that trips the breaker
+    breaker_min_samples: int = 16  # outcomes needed before a trip
+    breaker_cooldown: float = 0.5  # open duration before half-open, seconds
+    breaker_probes: int = 2        # half-open successes needed to close
+    slo_ms: Optional[float] = None     # latency SLO; None disables degradation
+    degradation_floor: Optional[QueryBudget] = None   # budget at full pressure
 
 
 @dataclass
@@ -124,6 +146,28 @@ class QueryService:
             max_batch=self.config.max_batch,
             max_pending=self.config.max_pending,
             on_batch=self.stats.record_batch,
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            reserved_control=self.config.reserved_control,
+            max_waiting=self.config.admission_max_waiting,
+        )
+        self.breaker = CircuitBreaker(
+            window=self.config.breaker_window,
+            threshold=self.config.breaker_threshold,
+            min_samples=self.config.breaker_min_samples,
+            cooldown=self.config.breaker_cooldown,
+            probes=self.config.breaker_probes,
+        )
+        floor = self.config.degradation_floor
+        if floor is None and self.config.slo_ms is not None:
+            # Sensible default: at full pressure, cap each query at the
+            # SLO itself and accept a 1.5x-approximate answer.
+            floor = QueryBudget(
+                deadline=self.config.slo_ms / 1000.0, epsilon=0.5
+            )
+        self.degradation = DegradationPolicy(
+            slo_ms=self.config.slo_ms, floor=floor
         )
         self._closed = False
         # fault tolerance: reload a fresh snapshot (admin op + background
@@ -278,17 +322,36 @@ class QueryService:
     ) -> List[Tuple[List[Tuple[int, float]], TrajTreeStats]]:
         """One coalesced tick: the batch's distinct queries through one
         :meth:`TrajTree.query_many` call (runs on an executor thread; must
-        not touch service bookkeeping — that happens on the loop)."""
-        return self._tree.query_many(
-            [(r.kind, r.query, r.param) for r in requests]
-        )
+        not touch service bookkeeping — that happens on the loop).
+
+        The degradation floor is read once per batch, so every request in
+        the tick sees the same tightening — a request's effective budget
+        is ``combine_budgets(request.budget, floor)`` and digest-keyed
+        singleflight stays correct within the batch.
+        """
+        faults.fire("service.dispatch")
+        floor = self.degradation.current_budget()
+        batch = []
+        for r in requests:
+            budget = combine_budgets(r.budget, floor)
+            if budget is None:
+                batch.append((r.kind, r.query, r.param))
+            else:
+                batch.append((r.kind, r.query, r.param, budget))
+        return self._tree.query_many(batch)
+
+    async def _admitted_submit(self, digest: str, request: QueryRequest):
+        """Hold a ``query`` admission token across the batcher wait."""
+        async with self.admission.admit("query"):
+            return await self._batcher.submit(digest, request)
 
     async def submit(self, request: QueryRequest) -> QueryResponse:
         """Answer one query through cache → batcher → tree.
 
         Raises the typed :class:`~repro.service.protocol.ServiceError`
         family: ``InvalidRequest``, ``ServiceOverloaded``,
-        ``RequestTimeout``, ``ServiceClosed``.
+        ``ServiceUnavailable`` (breaker open), ``RequestTimeout``,
+        ``ServiceClosed``.
         """
         loop = asyncio.get_running_loop()
         start = loop.time()
@@ -301,6 +364,11 @@ class QueryService:
         if self._closed:
             self.stats.record_error(ServiceClosed.code)
             raise ServiceClosed("service is shutting down")
+        try:
+            self.breaker.check()
+        except ServiceUnavailable as exc:
+            self.stats.record_error(exc.code)
+            raise
 
         digest = query_digest(request)
         snapshot = self.snapshot_id
@@ -323,41 +391,62 @@ class QueryService:
                    else self.config.default_timeout)
         try:
             outcome = await asyncio.wait_for(
-                self._batcher.submit(digest, request), timeout
+                self._admitted_submit(digest, request), timeout
             )
         except asyncio.TimeoutError:
+            self.breaker.record_failure()
             self.stats.record_error(RequestTimeout.code)
             raise RequestTimeout(
                 f"query missed its {timeout:g}s deadline"
             ) from None
-        except ServiceError as exc:
+        except (ServiceOverloaded, ServiceClosed) as exc:
+            # Shed / draining: says nothing about backend health, so the
+            # breaker does not count it.
             self.stats.record_error(exc.code)
             raise
+        except ServiceError as exc:
+            self.breaker.record_failure()
+            self.stats.record_error(exc.code)
+            raise
+        except Exception as exc:
+            # Unexpected dispatch failure (tree bug, injected fault):
+            # wrap as a typed error and count it against the breaker.
+            self.breaker.record_failure()
+            self.stats.record_error("internal")
+            raise ServiceError(f"dispatch failed: {exc}") from exc
+        self.breaker.record_success()
 
         results, tree_stats = outcome.value
+        exact = bool(getattr(results, "exact", True))
         if outcome.primary:
             self.stats.record_tree_stats(tree_stats)
-            if self.snapshot_id == snapshot:
+            if exact and self.snapshot_id == snapshot:
                 # Guard against caching across a set_tree() that raced the
                 # dispatch: a result computed on the new tree must not be
                 # filed under the old snapshot's key (or vice versa).
+                # Truncated (inexact) answers are never cached — a retry
+                # under a healthier budget must be free to do better.
                 self.cache.put(key, _CachedResult(list(results), tree_stats))
         latency_ms = (loop.time() - start) * 1000.0
+        self.degradation.observe(latency_ms / 1000.0)
         self.stats.record_completed(latency_ms, cache_hit=False,
                                     computed=outcome.primary,
-                                    batch_size=outcome.batch_size)
+                                    batch_size=outcome.batch_size,
+                                    exact=exact)
         return QueryResponse(
             results=list(results),
             meta=self._meta(request, latency_ms, snapshot,
                             cache_hit=False, computed=outcome.primary,
                             batch_size=outcome.batch_size,
                             distinct=outcome.distinct,
-                            tree_stats=tree_stats_to_dict(tree_stats)),
+                            tree_stats=tree_stats_to_dict(tree_stats),
+                            results_obj=results),
         )
 
     def _meta(self, request: QueryRequest, latency_ms: float, snapshot: int,
               cache_hit: bool, computed: bool, batch_size: int,
-              distinct: int, tree_stats: Dict[str, int]) -> Dict[str, Any]:
+              distinct: int, tree_stats: Dict[str, int],
+              results_obj: Any = None) -> Dict[str, Any]:
         """The per-request observability record (stats schema, DESIGN.md).
 
         ``tree_stats`` holds the ``TrajTreeStats`` deltas of the
@@ -369,9 +458,18 @@ class QueryService:
         ``degraded`` / ``missing_shards`` flag answers computed over a
         partial forest: correct over the healthy shards, but possibly
         missing results that live on the absent ones.
+
+        ``anytime`` reports the budget outcome when the computation ran
+        under one (:meth:`AnytimeResult.meta_dict`): the ``exact`` flag,
+        the truncation reason, the residual frontier bound and the implied
+        upper-bound factor.  ``None`` when no budget was in play (cache
+        hits included — only exact results are cached).
         """
+        meta_fn = getattr(results_obj, "meta_dict", None)
+        anytime = meta_fn() if callable(meta_fn) else None
         census = self.shard_census()
         return {
+            "anytime": anytime,
             "kind": request.kind,
             "param": request.param,
             "latency_ms": latency_ms,
@@ -401,12 +499,20 @@ class QueryService:
             "degraded": self.degraded,
             "shards": self.shard_census(),
         }
+        out["overload"] = {
+            "admission": self.admission.stats_dict(),
+            "breaker": self.breaker.stats_dict(),
+            "degradation": self.degradation.stats_dict(),
+        }
         out["config"] = {
             "window": self.config.window,
             "max_batch": self.config.max_batch,
             "max_pending": self.config.max_pending,
             "cache_capacity": self.config.cache_capacity,
             "default_timeout": self.config.default_timeout,
+            "max_inflight": self.config.max_inflight,
+            "reserved_control": self.config.reserved_control,
+            "slo_ms": self.config.slo_ms,
         }
         return out
 
@@ -460,14 +566,22 @@ async def _handle_connection(
             try:
                 obj = decode_request(line)
                 op = obj.get("op")
-                if op == "ping":
-                    response = {"ok": True, "result": "pong"}
-                elif op == "stats":
-                    response = {"ok": True, "result": service.stats_dict()}
-                elif op == "health":
-                    response = {"ok": True, "result": service.health_dict()}
-                elif op == "reload":
-                    response = {"ok": True, "result": await service.reload()}
+                if op in ("ping", "stats", "health", "reload"):
+                    # Control ops run under the "control" admission class:
+                    # they may take the reserved tokens, so health probes
+                    # and stats scrapes answer promptly during kNN floods.
+                    async with service.admission.admit("control"):
+                        if op == "ping":
+                            response = {"ok": True, "result": "pong"}
+                        elif op == "stats":
+                            response = {"ok": True,
+                                        "result": service.stats_dict()}
+                        elif op == "health":
+                            response = {"ok": True,
+                                        "result": service.health_dict()}
+                        else:
+                            response = {"ok": True,
+                                        "result": await service.reload()}
                 else:
                     answer = await service.submit(request_from_obj(obj))
                     response = {
@@ -476,10 +590,13 @@ async def _handle_connection(
                         "meta": answer.meta,
                     }
             except ServiceError as exc:
-                response = {
-                    "ok": False,
-                    "error": {"code": exc.code, "message": str(exc)},
+                error: Dict[str, Any] = {
+                    "code": exc.code, "message": str(exc)
                 }
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    error["retry_after"] = retry_after
+                response = {"ok": False, "error": error}
             writer.write(encode_response(response))
             try:
                 await writer.drain()

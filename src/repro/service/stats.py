@@ -57,6 +57,8 @@ class ServiceStats:
     computed: int = 0            # requests whose result ran on the tree
     coalesced: int = 0           # completed requests that shared a batch
                                  # with at least one other request
+    approximate: int = 0         # completed answers flagged exact=False
+                                 # (budget-truncated anytime results)
     errors: Dict[str, int] = field(default_factory=dict)
     by_kind: Dict[str, int] = field(default_factory=dict)
     batches: int = 0
@@ -84,6 +86,7 @@ class ServiceStats:
         cache_hit: bool,
         computed: bool,
         batch_size: int,
+        exact: bool = True,
     ) -> None:
         self.completed += 1
         self._latencies_ms.append(latency_ms)
@@ -93,6 +96,8 @@ class ServiceStats:
             self.computed += 1
         if batch_size > 1:
             self.coalesced += 1
+        if not exact:
+            self.approximate += 1
 
     def record_error(self, code: str) -> None:
         self.errors[code] = self.errors.get(code, 0) + 1
@@ -138,6 +143,7 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "computed": self.computed,
             "coalesced": self.coalesced,
+            "approximate": self.approximate,
             "errors": dict(self.errors),
             "by_kind": dict(self.by_kind),
             "reloads": self.reloads,

@@ -158,9 +158,27 @@ class ColumnarStore:
         positional otherwise (the same rule as
         ``TrajTree``'s bulk-load), so a store round-trip preserves the id
         space an index over the same dataset would use.
+
+        Input hardening: zero-point trajectories and non-finite (NaN/inf)
+        coordinates raise :class:`StoreError` naming the offending
+        trajectory — the DP kernels downstream would silently propagate
+        NaNs into every distance they touch, so garbage is rejected at
+        the packing boundary instead.
         """
         trajectories = list(trajectories)
         n = len(trajectories)
+        for i, t in enumerate(trajectories):
+            name = (f"id {t.traj_id}" if t.traj_id is not None
+                    else f"position {i}")
+            if len(t) == 0:
+                raise StoreError(
+                    f"trajectory {name} has zero points; stores only "
+                    f"accept non-empty trajectories"
+                )
+            if not np.isfinite(t.data).all():
+                raise StoreError(
+                    f"trajectory {name} contains NaN/inf coordinates"
+                )
         offsets = np.zeros(n + 1, dtype=np.int64)
         for i, t in enumerate(trajectories):
             offsets[i + 1] = offsets[i] + len(t)
@@ -308,10 +326,17 @@ class ColumnarStore:
 
         Raises :class:`StoreError` naming the missing/invalid piece for
         anything that is not a complete, compatible store directory.
+
+        Opening also sweeps stale ``*.tmp*`` files a crashed writer left
+        behind (:func:`repro.store.atomic.cleanup_stale_temps`) — the
+        atomic-write protocol guarantees they are never part of a
+        committed store, so reaping them on the read path keeps crash
+        debris from accumulating.
         """
         root = Path(path)
         if not root.is_dir():
             raise StoreError(f"{root!s} is not a store directory")
+        cleanup_stale_temps(root)
         meta_path = root / "meta.json"
         if not meta_path.is_file():
             raise StoreError(f"{root!s} has no meta.json; not a store?")

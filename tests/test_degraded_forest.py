@@ -187,14 +187,14 @@ class TestDegradedService:
             # the operator restores the snapshot; the loop picks it up
             for name in ("shard_0001.pkl", "shard_0002.pkl"):
                 shutil.copy2(pristine / name, snapshot / name)
-            for _ in range(200):
+            for _ in range(500):
                 if not service.degraded:
                     break
                 await asyncio.sleep(0.02)
             assert not service.degraded
             assert service.snapshot_id > before
             assert service.stats.reloads == 1
-            await asyncio.wait_for(task, timeout=2.0)  # loop ends itself
+            await asyncio.wait_for(task, timeout=10.0)  # loop ends itself
             answer = await service.submit(
                 QueryRequest("knn", probes(1)[0], 5)
             )

@@ -37,6 +37,7 @@ def test_design_md_keeps_promised_sections():
         "## Columnar store and sharded forest",
         "## Fault model and degraded serving",
         "## Native kernel tier",
+        "## Overload control and anytime queries",
     ):
         assert heading in text, f"DESIGN.md lost section {heading!r}"
     # the deviations those sections must keep documenting
@@ -70,6 +71,13 @@ def test_design_md_keeps_promised_sections():
                     "ServiceConnectionError", "repro.testing.faults",
                     "resilience_gate"):
         assert keyword in text, f"DESIGN.md lost {keyword!r}"
+    # the overload-control section must keep its sub-contracts
+    for keyword in ("QueryBudget", "BudgetTracker", "AnytimeResult",
+                    "bound_factor", "residual", "shard_exact",
+                    "max_inflight - reserved_control", "half_open",
+                    "retry_after", "RetryExhausted", "combine_budgets",
+                    "p99 / SLO", "overload_gate"):
+        assert keyword in text, f"DESIGN.md lost {keyword!r}"
     # the native-kernel-tier section must keep its sub-contracts
     for keyword in ("@njit(cache=True)", "pip install .[native]",
                     "NativeBackendUnavailableError", "UnknownBackendError",
@@ -90,7 +98,8 @@ def test_design_md_keeps_promised_sections():
                    "batched-leaf-refinement", "query-service",
                    "columnar-store-and-sharded-forest",
                    "fault-model-and-degraded-serving",
-                   "native-kernel-tier"):
+                   "native-kernel-tier",
+                   "overload-control-and-anytime-queries"):
         assert anchor in slugs, f"DESIGN.md anchor #{anchor} no longer resolves"
 
 
@@ -139,6 +148,14 @@ def test_readme_covers_the_promised_ground():
         "repro.testing.faults",
         "DESIGN.md#fault-model-and-degraded-serving",
         "bench_service_resilience.py",
+        # the overload-control ops notes and gate
+        "QueryBudget",
+        "--slo-ms",
+        "RetryExhausted",
+        "ServiceUnavailable",
+        "retry_after",
+        "DESIGN.md#overload-control-and-anytime-queries",
+        "bench_service_overload.py",
         # the native-tier backend guide, gates and differential matrix
         "pip install .[native]",
         "set_backend(\"native\")",

@@ -30,7 +30,7 @@ from repro.service import (
     ServiceError,
     serve,
 )
-from repro.service.retry import is_transient
+from repro.service.retry import RetryExhausted, is_transient
 from repro.service.protocol import ServiceOverloaded
 from repro.testing.faults import FaultPlan, injected
 
@@ -144,8 +144,12 @@ class TestClientRetry:
             )
             plan = FaultPlan().on("client.send", "drop", times=None)
             with injected(plan):
-                with pytest.raises(ServiceConnectionError):
+                with pytest.raises(RetryExhausted) as info:
                     await client.knn(queries[0], 3)
+            # the typed exhaustion chains the final transient failure and
+            # is itself non-retryable
+            assert isinstance(info.value.last_error, ServiceConnectionError)
+            assert not is_transient(info.value)
             fired = plan.fired()
             # the harness uninstalled: the same client heals
             results, _ = await client.knn(queries[0], 3)
